@@ -1,0 +1,9 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def show(table) -> None:
+    """Print an experiment table (visible when pytest runs with ``-s``)."""
+    print()
+    print(table.to_text())

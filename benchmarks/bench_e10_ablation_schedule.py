@@ -1,0 +1,33 @@
+"""E10 (ablation): the probability-doubling schedule and the MST filter of Aug_k."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e10_schedule_ablation
+from repro.core.k_ecss import k_ecss
+from repro.graphs.generators import random_k_edge_connected_graph
+
+
+def test_e10_no_mst_filter_benchmark(benchmark):
+    """Time the ablated (no MST filter) k-ECSS variant on n = 14, k = 3."""
+    graph = random_k_edge_connected_graph(14, 3, extra_edge_prob=0.35, seed=10)
+    result = benchmark(lambda: k_ecss(graph, 3, seed=10, use_mst_filter=False))
+    assert result.verify()[0]
+
+
+def test_e10_ablation_table(benchmark):
+    """Regenerate the E10 table: the MST filter keeps the output sparse."""
+    table = benchmark.pedantic(
+        lambda: experiment_e10_schedule_ablation(n=14, k=3, trials=2,
+                                                 schedule_constants=(1, 2, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    rows = list(zip(table.column("M"), table.column("mst filter"), table.column("edges")))
+    with_filter = [edges for _, use_filter, edges in rows if use_filter]
+    without_filter = [edges for _, use_filter, edges in rows if not use_filter]
+    # Shape claim: with the MST filter the augmentation stays at least as sparse
+    # on average as without it.
+    assert sum(with_filter) / len(with_filter) <= sum(without_filter) / len(without_filter) + 1

@@ -1,0 +1,33 @@
+"""E1 (Theorem 1.1): weighted 2-ECSS approximation quality vs exact optimum."""
+
+from __future__ import annotations
+
+import math
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e1_two_ecss_approximation
+from repro.core.two_ecss import two_ecss
+from repro.graphs.generators import random_k_edge_connected_graph
+
+
+def test_e1_two_ecss_solver_benchmark(benchmark):
+    """Time one 2-ECSS solve on the standard weighted workload (n = 32)."""
+    graph = random_k_edge_connected_graph(32, 2, extra_edge_prob=0.2, seed=1)
+    result = benchmark(lambda: two_ecss(graph, seed=1, simulate_bfs=False))
+    assert result.verify()[0]
+
+
+def test_e1_approximation_table(benchmark):
+    """Regenerate the E1 table and check the O(log n) approximation claim."""
+    table = benchmark.pedantic(
+        lambda: experiment_e1_two_ecss_approximation(sizes=(16, 24, 32), trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    ratios = table.column("ratio vs ref")
+    logs = table.column("log2(n)")
+    # Shape claim: the measured ratio stays bounded by a small multiple of log n
+    # (in practice it is far below it), and never below 1 against the optimum.
+    assert all(1.0 <= ratio <= 2 * log for ratio, log in zip(ratios, logs))

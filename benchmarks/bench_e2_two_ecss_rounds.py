@@ -1,0 +1,31 @@
+"""E2 (Theorem 1.1): 2-ECSS round complexity vs the (D + sqrt n) log^2 n bound."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e2_two_ecss_rounds
+from repro.core.two_ecss import two_ecss
+from repro.graphs.generators import clique_chain
+
+
+def test_e2_large_diameter_instance_benchmark(benchmark):
+    """Time a 2-ECSS solve on the large-diameter clique-chain family."""
+    graph = clique_chain(12, 4, 2)  # 48 vertices, D = Theta(n)
+    result = benchmark(lambda: two_ecss(graph, seed=2, simulate_bfs=False))
+    assert result.verify()[0]
+
+
+def test_e2_round_scaling_table(benchmark):
+    """Regenerate the E2 table and check rounds stay within the claimed bound."""
+    table = benchmark.pedantic(
+        lambda: experiment_e2_two_ecss_rounds(sizes=(16, 32, 64), trials=1),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    ratios = table.column("rounds/bound")
+    # Shape claim: measured rounds remain a bounded multiple of (D+sqrt n) log^2 n
+    # across families and sizes (constant factors are implementation-specific).
+    assert all(ratio <= 16 for ratio in ratios)
+    assert max(ratios) / max(min(ratios), 1e-9) <= 32

@@ -1,0 +1,36 @@
+"""E3 (Lemma 3.11): the weighted-TAP iteration count grows like log^2 n, not n."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e3_tap_iterations
+from repro.graphs.generators import random_k_edge_connected_graph
+from repro.mst.sequential import minimum_spanning_tree
+from repro.tap.distributed import distributed_tap
+from repro.trees.rooted import RootedTree
+
+
+def test_e3_tap_solver_benchmark(benchmark):
+    """Time one distributed-TAP run (n = 48, dense weighted instance)."""
+    graph = random_k_edge_connected_graph(48, 2, extra_edge_prob=0.15, seed=3)
+    tree = RootedTree(minimum_spanning_tree(graph), root=0)
+    result = benchmark(lambda: distributed_tap(graph, tree, seed=3))
+    assert result.iterations >= 1
+
+
+def test_e3_iteration_growth_table(benchmark):
+    """Regenerate the E3 table and check the polylogarithmic iteration claim."""
+    table = benchmark.pedantic(
+        lambda: experiment_e3_tap_iterations(sizes=(16, 32, 64), trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    sizes = table.column("n")
+    means = table.column("mean iterations")
+    ratios = table.column("mean/log^2")
+    # Shape claims: iterations grow far slower than n (sublinear), and the
+    # normalised column stays bounded.
+    assert means[-1] <= sizes[-1] / 2
+    assert all(ratio <= 4 for ratio in ratios)

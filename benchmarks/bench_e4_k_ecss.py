@@ -1,0 +1,31 @@
+"""E4 (Theorem 1.2): weighted k-ECSS quality and rounds for k = 2, 3."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e4_k_ecss
+from repro.core.k_ecss import k_ecss
+from repro.graphs.generators import random_k_edge_connected_graph
+
+
+def test_e4_k_ecss_solver_benchmark(benchmark):
+    """Time one weighted 3-ECSS solve via the generic Aug_k pipeline (n = 16)."""
+    graph = random_k_edge_connected_graph(16, 3, extra_edge_prob=0.3, seed=4)
+    result = benchmark(lambda: k_ecss(graph, 3, seed=4))
+    assert result.verify()[0]
+
+
+def test_e4_quality_table(benchmark):
+    """Regenerate the E4 table and check the O(k log n) approximation claim."""
+    table = benchmark.pedantic(
+        lambda: experiment_e4_k_ecss(sizes=(12, 16), ks=(2, 3), trials=2),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    for ratio, k_log in zip(table.column("ratio"), table.column("k log2(n)")):
+        assert 1.0 <= ratio <= k_log
+    # Rounds stay below the Theorem 1.2 bound.
+    for rounds, bound in zip(table.column("rounds"), table.column("k(D log^3 n + n)")):
+        assert rounds <= bound

@@ -1,0 +1,33 @@
+"""E5 (Theorem 1.3): unweighted 3-ECSS rounds scale with D log^3 n, not n."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e5_three_ecss_rounds
+from repro.core.three_ecss import three_ecss
+from repro.graphs.generators import random_k_edge_connected_graph
+
+
+def test_e5_three_ecss_solver_benchmark(benchmark):
+    """Time one unweighted 3-ECSS solve (n = 30, small diameter)."""
+    graph = random_k_edge_connected_graph(
+        30, 3, extra_edge_prob=0.25, weight_range=None, seed=5
+    )
+    result = benchmark(lambda: three_ecss(graph, seed=5))
+    assert result.verify()[0]
+
+
+def test_e5_round_scaling_table(benchmark):
+    """Regenerate the E5 table: rounds track D log^3 n and sizes track the 2-approx baseline."""
+    table = benchmark.pedantic(
+        lambda: experiment_e5_three_ecss_rounds(sizes=(16, 24, 36), trials=1),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    ratios = table.column("rounds/(D log^3 n)")
+    assert all(ratio <= 8 for ratio in ratios)
+    # Output sizes stay within a log factor of the sparse-certificate baseline.
+    for size, cert in zip(table.column("size"), table.column("sparse-cert size")):
+        assert size <= 4 * cert

@@ -1,0 +1,43 @@
+"""E6 (Lemma 3.4 / Claim 3.1): segment decomposition statistics scale with sqrt(n)."""
+
+from __future__ import annotations
+
+import math
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e6_decomposition
+from repro.decomposition.segments import build_decomposition
+from repro.graphs.generators import random_k_edge_connected_graph
+from repro.mst.distributed import build_mst_with_fragments
+
+
+def test_e6_decomposition_benchmark(benchmark):
+    """Time MST + fragments + segment decomposition on a 144-vertex graph."""
+    graph = random_k_edge_connected_graph(144, 2, extra_edge_prob=3.0 / 144, seed=6)
+
+    def run():
+        stage = build_mst_with_fragments(graph, simulate_bfs=False)
+        return build_decomposition(stage.mst, stage.fragments)
+
+    decomposition = benchmark(run)
+    assert decomposition.validate() == []
+
+
+def test_e6_scaling_table(benchmark):
+    """Regenerate the E6 table and check the O(sqrt n) count/diameter claims."""
+    table = benchmark.pedantic(
+        lambda: experiment_e6_decomposition(sizes=(64, 144, 256), trials=1),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    for n, segments, diameter in zip(
+        table.column("n"), table.column("segments"), table.column("max segment diam")
+    ):
+        sqrt_n = math.isqrt(n)
+        assert segments <= 10 * sqrt_n + 4
+        assert diameter <= 6 * sqrt_n + 2
+    # Normalised columns stay bounded as n quadruples.
+    assert max(table.column("segments/sqrt n")) <= 10
+    assert max(table.column("diam/sqrt n")) <= 6

@@ -1,0 +1,32 @@
+"""E7 (Lemma 5.4): cycle-space label accuracy vs label width."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e7_cycle_space
+from repro.cycle_space.labels import compute_labels
+from repro.graphs.generators import cycle_with_chords
+
+
+def test_e7_labelling_benchmark(benchmark):
+    """Time one default-width labelling of a 200-vertex 2-edge-connected graph."""
+    graph = cycle_with_chords(200, extra_edges=60, seed=7)
+    labelling = benchmark(lambda: compute_labels(graph, seed=7))
+    assert labelling.bits >= 4
+
+
+def test_e7_accuracy_table(benchmark):
+    """Regenerate the E7 table: one-sided error, false positives decay with b."""
+    table = benchmark.pedantic(
+        lambda: experiment_e7_cycle_space(n=24, bits_values=(1, 2, 4, 8, 16), trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    # One-sided error: no true cut pair is ever missed.
+    assert all(missed == 0 for missed in table.column("missed"))
+    # False positives decay as the label width grows (wide labels are exact).
+    false_positives = table.column("mean false positives")
+    assert false_positives[0] >= false_positives[-1]
+    assert false_positives[-1] == 0

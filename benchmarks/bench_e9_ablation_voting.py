@@ -1,0 +1,32 @@
+"""E9 (ablation): the |C_e|/8 voting rule vs naively adding every maximum candidate."""
+
+from __future__ import annotations
+
+from _bench_helpers import show
+
+from repro.analysis.experiments import experiment_e9_voting_ablation
+from repro.core.two_ecss import two_ecss
+from repro.graphs.generators import random_k_edge_connected_graph
+
+
+def test_e9_no_symmetry_breaking_benchmark(benchmark):
+    """Time the ablated (no-voting) 2-ECSS variant on n = 32."""
+    graph = random_k_edge_connected_graph(32, 2, extra_edge_prob=0.25, seed=9)
+    result = benchmark(
+        lambda: two_ecss(graph, seed=9, symmetry_breaking=False, simulate_bfs=False)
+    )
+    assert result.verify()[0]
+
+
+def test_e9_ablation_table(benchmark):
+    """Regenerate the E9 table: voting never loses on weight by more than a whisker."""
+    table = benchmark.pedantic(
+        lambda: experiment_e9_voting_ablation(sizes=(24, 40), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    # Shape claim: the add-all variant pays at least as much weight on average
+    # (ratio >= ~1); small fluctuations below 1 would indicate a regression in
+    # the voting implementation.
+    assert all(ratio >= 0.95 for ratio in table.column("weight ratio"))

@@ -1,0 +1,71 @@
+"""Fault-tolerant network backbone: why a 2-ECSS instead of an MST.
+
+The introduction of the paper motivates k-ECSS as the cheap backbone that
+survives edge failures: an MST is the cheapest connected backbone but a single
+link failure disconnects it.  This example builds both on the same weighted
+network, knocks out every single edge in turn, and reports how often each
+backbone survives -- then does the same with double failures for a 3-ECSS.
+
+Run with::
+
+    python examples/fault_tolerant_backbone.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+import repro
+from repro.mst.sequential import minimum_spanning_tree
+
+
+def survival_rate(nodes, edges, failures: int) -> float:
+    """Fraction of failure patterns (of the given size) the backbone survives."""
+    backbone = nx.Graph()
+    backbone.add_nodes_from(nodes)
+    backbone.add_edges_from(edges)
+    patterns = list(itertools.combinations(list(backbone.edges()), failures))
+    if not patterns:
+        return 1.0
+    survived = 0
+    for pattern in patterns:
+        trial = backbone.copy()
+        trial.remove_edges_from(pattern)
+        if nx.is_connected(trial):
+            survived += 1
+    return survived / len(patterns)
+
+
+def main() -> None:
+    graph = repro.random_k_edge_connected_graph(30, 3, extra_edge_prob=0.25, seed=11)
+    nodes = list(graph.nodes())
+    print(f"network: n={graph.number_of_nodes()}, m={graph.number_of_edges()}")
+
+    mst = minimum_spanning_tree(graph)
+    mst_weight = int(mst.size(weight="weight"))
+
+    two = repro.two_ecss(graph, seed=11)
+    three = repro.k_ecss(graph, 3, seed=11)
+
+    print(f"{'backbone':<18s} {'weight':>8s} {'edges':>6s} "
+          f"{'1-failure survival':>20s} {'2-failure survival':>20s}")
+    rows = [
+        ("MST", mst_weight, mst.number_of_edges(), set(map(tuple, mst.edges()))),
+        ("2-ECSS (Thm 1.1)", two.weight, two.num_edges, two.edges),
+        ("3-ECSS (Thm 1.2)", three.weight, three.num_edges, three.edges),
+    ]
+    for name, weight, size, edges in rows:
+        one = survival_rate(nodes, edges, 1)
+        pairs = survival_rate(nodes, edges, 2)
+        print(f"{name:<18s} {weight:>8d} {size:>6d} {one:>19.0%} {pairs:>19.0%}")
+
+    print()
+    print("The MST is cheapest but dies on every single failure; the 2-ECSS")
+    print("survives all single failures; the 3-ECSS also survives all double")
+    print("failures, at a correspondingly higher weight.")
+
+
+if __name__ == "__main__":
+    main()

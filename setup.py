@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that the package can be
+installed in editable mode on machines whose pip/setuptools tool-chain lacks
+the ``wheel`` package or network access for build isolation
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

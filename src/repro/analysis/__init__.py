@@ -1,0 +1,14 @@
+"""Experiment harness: runners, table formatting and the E1..E10 experiments.
+
+The paper contains no empirical evaluation, so the experiments here measure
+the quantitative content of its theorems (see DESIGN.md §1 and §4) --
+approximation ratios against exact optima / lower bounds, round-complexity
+scaling against the claimed bounds, iteration counts, decomposition and
+cycle-space properties, and ablations of the design choices.
+"""
+
+from repro.analysis.tables import Table
+from repro.analysis.runner import ExperimentRunner, TrialResult
+from repro.analysis import experiments
+
+__all__ = ["Table", "ExperimentRunner", "TrialResult", "experiments"]

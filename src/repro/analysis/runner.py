@@ -1,0 +1,78 @@
+"""Experiment runner: repetition, seeding and aggregation.
+
+The algorithms are randomised, so each configuration is run over several seeds
+and the experiments report means (and, where interesting, maxima).  Seeds are
+derived deterministically from the configuration so re-running an experiment
+reproduces the same numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = ["TrialResult", "ExperimentRunner", "derive_seed"]
+
+
+def derive_seed(*parts: object) -> int:
+    """Derive a deterministic 32-bit seed from arbitrary configuration parts."""
+    digest = hashlib.sha256("|".join(repr(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass
+class TrialResult:
+    """Metrics recorded for one (configuration, seed) trial."""
+
+    config: Mapping[str, object]
+    seed: int
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentRunner:
+    """Runs a trial function over configurations x seeds and aggregates metrics.
+
+    Attributes:
+        trials: Number of seeds per configuration.
+        base_seed: Mixed into every derived seed, so a whole experiment can be
+            re-seeded at once.
+    """
+
+    trials: int = 3
+    base_seed: int = 0
+
+    def run(
+        self,
+        name: str,
+        configs: Sequence[Mapping[str, object]],
+        trial: Callable[[Mapping[str, object], int], dict[str, float]],
+    ) -> list[TrialResult]:
+        """Run *trial* for every configuration and seed; return all results."""
+        results: list[TrialResult] = []
+        for config in configs:
+            for index in range(self.trials):
+                seed = derive_seed(name, self.base_seed, sorted(config.items()), index)
+                metrics = trial(config, seed)
+                results.append(TrialResult(config=dict(config), seed=seed, metrics=metrics))
+        return results
+
+    @staticmethod
+    def aggregate(
+        results: Iterable[TrialResult],
+        key: Callable[[TrialResult], object],
+    ) -> dict[object, dict[str, float]]:
+        """Group results by *key* and average each metric within a group."""
+        grouped: dict[object, list[TrialResult]] = {}
+        for result in results:
+            grouped.setdefault(key(result), []).append(result)
+        aggregated: dict[object, dict[str, float]] = {}
+        for group_key, group in grouped.items():
+            metric_names = group[0].metrics.keys()
+            aggregated[group_key] = {
+                name: statistics.fmean(r.metrics[name] for r in group)
+                for name in metric_names
+            }
+        return aggregated

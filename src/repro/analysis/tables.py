@@ -1,0 +1,98 @@
+"""Paper-style result tables.
+
+Every experiment returns a :class:`Table`; the benchmarks print them and
+EXPERIMENTS.md embeds them.  Values are kept as Python objects and formatted
+lazily so the same table can be rendered as aligned text or Markdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns.
+
+    Attributes:
+        title: Table caption (experiment id and what it validates).
+        columns: Column headers.
+        rows: Row values (same arity as ``columns``).
+        notes: Free-form caption lines printed below the table.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[object]:
+        """Return all values of the column called *name*."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    # -------------------------------------------------------------- rendering
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        headers = [str(c) for c in self.columns]
+        cells = [[_format_value(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured Markdown table."""
+        headers = [str(c) for c in self.columns]
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join(["---"] * len(headers)) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_format_value(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append("")
+            lines.append(f"*{note}*")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    @staticmethod
+    def concatenate(title: str, tables: Iterable["Table"]) -> str:
+        """Render several tables one after another under a combined heading."""
+        parts = [title, "=" * len(title), ""]
+        for table in tables:
+            parts.append(table.to_text())
+            parts.append("")
+        return "\n".join(parts)

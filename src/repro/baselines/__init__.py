@@ -1,0 +1,34 @@
+"""Baseline algorithms the experiments compare against.
+
+These re-implement the prior work the paper cites (Section 1) plus exact
+references:
+
+* :mod:`repro.baselines.thurimella` -- sparse certificates / k maximal
+  spanning forests, the 2-approximation for unweighted k-ECSS of [36],
+* :mod:`repro.baselines.khuller_vishkin` -- DFS-based 2-approximation for
+  unweighted 2-ECSS and the MST + greedy-TAP heuristic for the weighted case
+  (the structure of the 3-approximations of [1, 23]),
+* :mod:`repro.baselines.exact` -- exact minimum TAP / k-ECSS via integer
+  programming (scipy MILP with lazy cut generation), feasible for the small
+  instances used to measure approximation ratios,
+* :mod:`repro.baselines.mst_baseline` -- MST-based lower bounds.
+"""
+
+from repro.baselines.thurimella import sparse_certificate_k_ecss
+from repro.baselines.khuller_vishkin import (
+    dfs_unweighted_two_ecss,
+    mst_plus_greedy_two_ecss,
+)
+from repro.baselines.exact import exact_tap, exact_k_ecss, exact_k_ecss_weight
+from repro.baselines.mst_baseline import k_ecss_lower_bound, mst_lower_bound
+
+__all__ = [
+    "sparse_certificate_k_ecss",
+    "dfs_unweighted_two_ecss",
+    "mst_plus_greedy_two_ecss",
+    "exact_tap",
+    "exact_k_ecss",
+    "exact_k_ecss_weight",
+    "k_ecss_lower_bound",
+    "mst_lower_bound",
+]

@@ -1,0 +1,47 @@
+"""Combinatorial lower bounds on the minimum k-ECSS weight.
+
+Used when the exact ILP is too slow (large experiment instances): the
+approximation ratio reported against a lower bound is an upper bound on the
+true ratio, so the O(log n) claims can still be checked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import networkx as nx
+
+from repro.mst.sequential import mst_weight
+
+__all__ = ["mst_lower_bound", "degree_lower_bound", "k_ecss_lower_bound"]
+
+
+def mst_lower_bound(graph: nx.Graph) -> int:
+    """The MST weight: a lower bound on any connected spanning subgraph, so on any k-ECSS."""
+    return mst_weight(graph)
+
+
+def degree_lower_bound(graph: nx.Graph, k: int) -> int:
+    """Half the sum, over vertices, of each vertex's ``k`` cheapest incident edges.
+
+    Every vertex of a k-edge-connected subgraph has degree at least ``k``, and
+    every edge is counted at most twice, hence the bound.
+    """
+    total = 0
+    for node in graph.nodes():
+        incident = sorted(
+            graph[node][neighbor].get("weight", 1) for neighbor in graph.neighbors(node)
+        )
+        if len(incident) < k:
+            raise ValueError(f"vertex {node!r} has degree < {k}; the graph is not k-edge-connected")
+        total += sum(incident[:k])
+    return math.ceil(total / 2)
+
+
+def k_ecss_lower_bound(graph: nx.Graph, k: int) -> int:
+    """The best of the MST and degree lower bounds (both valid for every k >= 1)."""
+    bounds = [degree_lower_bound(graph, k)]
+    if k >= 1:
+        bounds.append(mst_lower_bound(graph))
+    return max(bounds)

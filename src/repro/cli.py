@@ -1,0 +1,166 @@
+"""Command line interface: ``kecss solve | verify | experiment | families``.
+
+Examples::
+
+    kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
+    kecss experiment --id e3
+    kecss families
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis import experiments as experiment_module
+from repro.core.k_ecss import k_ecss
+from repro.core.three_ecss import three_ecss
+from repro.core.two_ecss import two_ecss
+from repro.graphs.generators import FAMILIES, make_family
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "e1": experiment_module.experiment_e1_two_ecss_approximation,
+    "e2": experiment_module.experiment_e2_two_ecss_rounds,
+    "e3": experiment_module.experiment_e3_tap_iterations,
+    "e4": experiment_module.experiment_e4_k_ecss,
+    "e5": experiment_module.experiment_e5_three_ecss_rounds,
+    "e6": experiment_module.experiment_e6_decomposition,
+    "e7": experiment_module.experiment_e7_cycle_space,
+    "e8": experiment_module.experiment_e8_augmentation_invariants,
+    "e9": experiment_module.experiment_e9_voting_ablation,
+    "e10": experiment_module.experiment_e10_schedule_ablation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="kecss",
+        description="Distributed approximation of minimum k-ECSS (Dory, PODC 2018) - reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run a solver on a generated instance")
+    solve.add_argument("--family", default="weighted-sparse", choices=sorted(FAMILIES))
+    solve.add_argument("--n", type=int, default=32, help="approximate number of vertices")
+    solve.add_argument("--k", type=int, default=2, help="target edge connectivity")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--algorithm",
+        choices=["auto", "2ecss", "kecss", "3ecss"],
+        default="auto",
+        help="auto picks 2ecss for k=2, 3ecss for unweighted k=3, kecss otherwise",
+    )
+    solve.add_argument("--json", action="store_true", help="print machine-readable output")
+
+    verify = subparsers.add_parser("verify", help="verify an edge list against an instance")
+    verify.add_argument("--family", default="weighted-sparse", choices=sorted(FAMILIES))
+    verify.add_argument("--n", type=int, default=32)
+    verify.add_argument("--k", type=int, default=2)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "edges", help="JSON list of [u, v] pairs, or '-' to read it from stdin"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one of the E1..E10 experiments")
+    experiment.add_argument("--id", dest="experiment_id", default="all",
+                            choices=["all", *sorted(_EXPERIMENTS)])
+    experiment.add_argument("--markdown", action="store_true", help="emit Markdown tables")
+
+    subparsers.add_parser("families", help="list the registered graph families")
+    return parser
+
+
+def _solve(args: argparse.Namespace) -> int:
+    family = make_family(args.family)
+    graph = family(args.n, seed=args.seed)
+    algorithm = args.algorithm
+    if algorithm == "auto":
+        if args.k == 2:
+            algorithm = "2ecss"
+        elif args.k == 3 and not family.weighted:
+            algorithm = "3ecss"
+        else:
+            algorithm = "kecss"
+    if algorithm == "2ecss":
+        result = two_ecss(graph, seed=args.seed)
+    elif algorithm == "3ecss":
+        result = three_ecss(graph, seed=args.seed)
+    else:
+        result = k_ecss(graph, args.k, seed=args.seed)
+    ok, reason = result.verify()
+    if args.json:
+        print(json.dumps({
+            "algorithm": result.algorithm,
+            "n": graph.number_of_nodes(),
+            "m": graph.number_of_edges(),
+            "k": result.k,
+            "weight": result.weight,
+            "edges": sorted([list(edge) for edge in result.edges]),
+            "rounds": result.rounds,
+            "iterations": result.iterations,
+            "valid": ok,
+        }))
+    else:
+        print(f"algorithm     : {result.algorithm}")
+        print(f"instance      : {args.family}, n={graph.number_of_nodes()}, "
+              f"m={graph.number_of_edges()}")
+        print(f"k             : {result.k}")
+        print(f"weight        : {result.weight}")
+        print(f"edges         : {result.num_edges}")
+        print(f"iterations    : {result.iterations}")
+        print(f"verified      : {ok}{'' if ok else ' (' + reason + ')'}")
+        print(result.ledger.summary())
+    return 0 if ok else 1
+
+
+def _verify(args: argparse.Namespace) -> int:
+    family = make_family(args.family)
+    graph = family(args.n, seed=args.seed)
+    raw = sys.stdin.read() if args.edges == "-" else args.edges
+    edges = [tuple(edge) for edge in json.loads(raw)]
+    from repro.graphs.connectivity import verify_spanning_subgraph
+
+    ok, reason = verify_spanning_subgraph(graph, edges, args.k)
+    print("OK" if ok else f"INVALID: {reason}")
+    return 0 if ok else 1
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    if args.experiment_id == "all":
+        tables = experiment_module.all_experiments()
+    else:
+        tables = [_EXPERIMENTS[args.experiment_id]()]
+    for table in tables:
+        print(table.to_markdown() if args.markdown else table.to_text())
+        print()
+    return 0
+
+
+def _families(_: argparse.Namespace) -> int:
+    for name in sorted(FAMILIES):
+        family = FAMILIES[name]
+        print(f"{name:<24s} k>={family.connectivity}  weighted={family.weighted}  "
+              f"{family.description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve": _solve,
+        "verify": _verify,
+        "experiment": _experiment,
+        "families": _families,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""CONGEST model substrate.
+
+The paper's algorithms run in the CONGEST model: ``n`` processors, one per
+graph vertex, exchange messages of ``O(log n)`` bits with their neighbours in
+synchronous rounds.  This subpackage provides
+
+* :mod:`repro.congest.network` -- a synchronous round-driven simulator with
+  per-edge per-round bandwidth accounting,
+* :mod:`repro.congest.metrics` -- round/message reports and the
+  simulated-vs-modelled round ledger used by the experiments,
+* :mod:`repro.congest.cost_model` -- the analytic round charges taken from the
+  paper's own cost statements (Lemma 3.3, Lemma 4.4, Section 5.3),
+* :mod:`repro.congest.primitives` -- message-passing implementations of the
+  building blocks every algorithm uses (BFS tree construction, broadcast,
+  convergecast, pipelined upcast, leader election).
+"""
+
+from repro.congest.network import CongestNetwork, CongestNode, Message
+from repro.congest.metrics import RoundReport, RoundLedger, LedgerEntry
+from repro.congest.cost_model import CostModel
+from repro.congest.primitives import (
+    simulate_bfs_tree,
+    simulate_broadcast,
+    simulate_convergecast_max,
+    simulate_convergecast_sum,
+    simulate_leader_election,
+    simulate_pipelined_upcast,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "CongestNode",
+    "Message",
+    "RoundReport",
+    "RoundLedger",
+    "LedgerEntry",
+    "CostModel",
+    "simulate_bfs_tree",
+    "simulate_broadcast",
+    "simulate_convergecast_max",
+    "simulate_convergecast_sum",
+    "simulate_leader_election",
+    "simulate_pipelined_upcast",
+]

@@ -1,0 +1,90 @@
+"""Cost-effectiveness bookkeeping (Section 2.1).
+
+The cost-effectiveness of a candidate edge ``e`` is ``rho(e) = |C_e| / w(e)``,
+the number of still-uncovered cuts it covers per unit of weight; candidates
+are compared by their *rounded* cost-effectiveness ``rho~(e)``, the smallest
+power of two strictly greater than ``rho(e)``.  Zero-weight edges have
+infinite cost-effectiveness (the algorithms add them up-front).
+
+Exact fractions are used throughout so that ties and maxima are deterministic
+and independent of floating point rounding.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+__all__ = [
+    "INFINITE_EFFECTIVENESS",
+    "cost_effectiveness",
+    "round_up_to_power_of_two",
+    "rounded_cost_effectiveness",
+]
+
+
+class _Infinity:
+    """Sentinel comparing greater than every fraction (the rho of zero-weight edges)."""
+
+    def __gt__(self, other) -> bool:
+        return not isinstance(other, _Infinity)
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __ge__(self, other) -> bool:
+        return True
+
+    def __le__(self, other) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:
+        return hash("INFINITE_EFFECTIVENESS")
+
+    def __repr__(self) -> str:
+        return "INFINITE_EFFECTIVENESS"
+
+
+INFINITE_EFFECTIVENESS = _Infinity()
+
+
+def cost_effectiveness(uncovered: int, weight: int) -> Fraction | _Infinity:
+    """Return ``rho = uncovered / weight`` (infinite when ``weight == 0``)."""
+    if uncovered < 0:
+        raise ValueError("the number of uncovered cuts cannot be negative")
+    if weight < 0:
+        raise ValueError("edge weights must be non-negative")
+    if weight == 0:
+        return INFINITE_EFFECTIVENESS
+    return Fraction(uncovered, weight)
+
+
+def round_up_to_power_of_two(value: Fraction) -> Fraction:
+    """Return the smallest power of two strictly greater than *value* (> 0).
+
+    The paper rounds ``rho`` "to the closest power of 2 that is greater than
+    rho", so for every candidate ``rho~ / 2 <= rho < rho~`` -- the property the
+    approximation analysis (Lemma 3.6) uses.
+    """
+    if value <= 0:
+        raise ValueError("can only round positive values")
+    power = Fraction(1)
+    if value >= 1:
+        while power <= value:
+            power *= 2
+        return power
+    while power / 2 > value:
+        power /= 2
+    return power
+
+
+def rounded_cost_effectiveness(uncovered: int, weight: int) -> Fraction | _Infinity:
+    """Return ``rho~`` for an edge covering *uncovered* cuts at cost *weight*."""
+    rho = cost_effectiveness(uncovered, weight)
+    if rho is INFINITE_EFFECTIVENESS:
+        return rho
+    if rho == 0:
+        return Fraction(0)
+    return round_up_to_power_of_two(rho)

@@ -1,0 +1,324 @@
+"""Weighted k-ECSS (Theorem 1.2) via iterated augmentation (Section 4).
+
+Each level ``i`` raises the connectivity of the running subgraph ``H`` from
+``i - 1`` to ``i`` by covering every cut of size ``i - 1`` of ``H``:
+
+1. every edge outside ``H ∪ A`` computes its rounded cost-effectiveness;
+2. the maximisers become candidates;
+3. every candidate becomes *active* with probability ``p_i`` (the "guessing"
+   schedule: ``p`` starts at ``1 / 2^ceil(log m)`` and doubles every
+   ``M log n`` iterations, resetting when the maximum rounded
+   cost-effectiveness drops);
+4. an MST of ``G`` under weights (A: 0, active candidates: 1, rest: 2) filters
+   the active candidates -- only those in the MST join ``A``, which keeps ``A``
+   acyclic (Claim 4.1) and therefore at most ``n - 1`` edges per level;
+5. the level ends when every cut of size ``i - 1`` is covered.
+
+Level 1 is solved by the MST itself (the MST is an optimal augmentation from
+connectivity 0 to 1), exactly as the 2-ECSS algorithm does; the generic
+procedure is used for every level ``i >= 2``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+
+from repro.congest.cost_model import CostModel
+from repro.congest.metrics import RoundLedger
+from repro.core.augmentation import (
+    AugmentationResult,
+    build_subgraph,
+    compose_augmentations,
+)
+from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS, rounded_cost_effectiveness
+from repro.core.result import ECSSResult
+from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
+from repro.graphs.cuts import Cut, enumerate_cuts_of_size
+from repro.mst.sequential import minimum_spanning_tree
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["AugIterationStats", "augment_to_k", "k_ecss"]
+
+
+@dataclass(frozen=True)
+class AugIterationStats:
+    """Per-iteration diagnostics of one ``Aug_k`` level."""
+
+    iteration: int
+    probability: float
+    candidates: int
+    active: int
+    added: int
+    uncovered_remaining: int
+
+
+def _probability_schedule_start(m: int) -> float:
+    """Initial activation probability 1 / 2^ceil(log2 m)."""
+    return 1.0 / (2 ** max(1, math.ceil(math.log2(max(m, 2)))))
+
+
+def augment_to_k(
+    graph: nx.Graph,
+    current_edges: frozenset[Edge],
+    k: int,
+    seed: int | random.Random | None = None,
+    schedule_constant: int = 2,
+    cost_model: CostModel | None = None,
+    use_mst_filter: bool = True,
+    max_iterations: int | None = None,
+    cut_seed: int | None = None,
+) -> AugmentationResult:
+    """Raise the connectivity of ``current_edges`` from ``k - 1`` to ``k`` (Section 4).
+
+    Args:
+        graph: The k-edge-connected input graph ``G``.
+        current_edges: Edges of the (k-1)-edge-connected subgraph ``H``.
+        k: Target connectivity of this level.
+        seed: Randomness for candidate activation.
+        schedule_constant: The ``M`` in "double ``p`` every ``M log n``
+            iterations" (the paper leaves the constant to the analysis).
+        cost_model: Round cost model (built from the graph when omitted).
+        use_mst_filter: Disable to add every active candidate without the MST
+            filtering of Line 4 (ablation E10 / Claim 4.1 demonstration).
+        max_iterations: Safety bound on iterations.
+        cut_seed: Seed for the randomised cut enumeration (sizes >= 3).
+
+    Returns:
+        An :class:`AugmentationResult` whose ``added`` edges, together with
+        ``current_edges``, form a k-edge-connected spanning subgraph.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    if cost_model is None:
+        cost_model = CostModel(n=n, diameter=nx.diameter(graph))
+    if max_iterations is None:
+        max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
+
+    subgraph = build_subgraph(graph, current_edges)
+    ledger = RoundLedger()
+    ledger.add(
+        "aug-state-broadcast",
+        cost_model.aug_state_broadcast_rounds(len(current_edges)),
+        note=f"all vertices learn H (|H| = {len(current_edges)} edges, O(D + |H|))",
+    )
+
+    cuts: list[Cut] = enumerate_cuts_of_size(subgraph, k - 1, seed=cut_seed)
+    if not cuts:
+        return AugmentationResult(
+            added=frozenset(), weight=0, iterations=0, ledger=ledger,
+            metadata={"cuts": 0, "history": []},
+        )
+
+    current = frozenset(canonical_edge(u, v) for u, v in current_edges)
+    candidates_pool = [
+        canonical_edge(u, v) for u, v in graph.edges() if canonical_edge(u, v) not in current
+    ]
+    weight_of = {
+        edge: graph[edge[0]][edge[1]].get("weight", 1) for edge in candidates_pool
+    }
+    covers: dict[Edge, frozenset[int]] = {}
+    for edge in candidates_pool:
+        u, v = edge
+        covers[edge] = frozenset(
+            index for index, cut in enumerate(cuts) if (u in cut.side) != (v in cut.side)
+        )
+
+    uncovered: set[int] = set(range(len(cuts)))
+    added: set[Edge] = set()
+    history: list[AugIterationStats] = []
+
+    probability = _probability_schedule_start(m)
+    phase_length = max(1, schedule_constant * cost_model.log_n)
+    phase_counter = 0
+    current_max = None
+    effectiveness_dirty = True
+    effectiveness: dict[Edge, object] = {}
+
+    iteration = 0
+    while uncovered:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(
+                f"Aug_{k} did not converge within {max_iterations} iterations"
+            )
+
+        # Lines 1-2: (re)compute rounded cost-effectiveness when coverage changed.
+        if effectiveness_dirty:
+            effectiveness = {}
+            for edge in candidates_pool:
+                if edge in added:
+                    continue
+                live = len(covers[edge] & uncovered)
+                if live == 0:
+                    continue
+                effectiveness[edge] = rounded_cost_effectiveness(live, weight_of[edge])
+            effectiveness_dirty = False
+        if not effectiveness:
+            raise RuntimeError(
+                f"no edge of G covers the remaining cuts of size {k - 1}; "
+                f"the input graph is not {k}-edge-connected"
+            )
+        maximum = max(effectiveness.values())
+        candidate_edges = sorted(
+            (edge for edge, value in effectiveness.items() if value == maximum), key=repr
+        )
+
+        # Probability schedule bookkeeping.
+        if maximum != current_max:
+            current_max = maximum
+            probability = _probability_schedule_start(m)
+            phase_counter = 0
+        elif phase_counter >= phase_length and probability < 1.0:
+            probability = min(1.0, probability * 2)
+            phase_counter = 0
+        phase_counter += 1
+
+        # Line 3: activation.
+        if probability >= 1.0:
+            active = list(candidate_edges)
+        else:
+            active = [edge for edge in candidate_edges if rng.random() < probability]
+
+        # Line 4: MST filtering keeps A acyclic.
+        newly_added: list[Edge] = []
+        if active:
+            if use_mst_filter:
+                chosen = _mst_filter(graph, added, active)
+            else:
+                chosen = list(active)
+            for edge in chosen:
+                if edge not in added:
+                    added.add(edge)
+                    newly_added.append(edge)
+
+        if newly_added:
+            for edge in newly_added:
+                uncovered -= covers[edge]
+            effectiveness_dirty = True
+
+        ledger.add(
+            "aug-iteration",
+            cost_model.aug_iteration_rounds(len(newly_added)),
+            note=f"Aug_{k} iteration {iteration} (Lemma 4.4)",
+        )
+        history.append(
+            AugIterationStats(
+                iteration=iteration,
+                probability=probability,
+                candidates=len(candidate_edges),
+                active=len(active),
+                added=len(newly_added),
+                uncovered_remaining=len(uncovered),
+            )
+        )
+
+    return AugmentationResult(
+        added=frozenset(added),
+        weight=sum(weight_of[edge] for edge in added),
+        iterations=iteration,
+        ledger=ledger,
+        metadata={"cuts": len(cuts), "history": history, "k": k},
+    )
+
+
+def _mst_filter(graph: nx.Graph, zero_weight_edges: set[Edge], active: list[Edge]) -> list[Edge]:
+    """Line 4: keep only the active candidates that appear in the filtered MST.
+
+    The MST is computed over ``G`` with weight 0 for edges already in ``A``,
+    weight 1 for active candidates and weight 2 for everything else; ties are
+    broken by canonical edge id, so the filter is deterministic given the set
+    of active candidates.
+    """
+    active_set = set(active)
+    reweighted = nx.Graph()
+    reweighted.add_nodes_from(graph.nodes())
+    for u, v in graph.edges():
+        edge = canonical_edge(u, v)
+        if edge in zero_weight_edges:
+            weight = 0
+        elif edge in active_set:
+            weight = 1
+        else:
+            weight = 2
+        reweighted.add_edge(u, v, weight=weight)
+    mst = minimum_spanning_tree(reweighted)
+    return [edge for edge in active if mst.has_edge(*edge)]
+
+
+def k_ecss(
+    graph: nx.Graph,
+    k: int,
+    seed: int | random.Random | None = None,
+    schedule_constant: int = 2,
+    use_mst_filter: bool = True,
+) -> ECSSResult:
+    """Weighted k-ECSS (Theorem 1.2): iterated ``Aug_i`` for ``i = 1..k``.
+
+    Level 1 uses the MST (optimal for raising connectivity from 0 to 1);
+    levels 2..k use :func:`augment_to_k`.  The composition argument of
+    Claim 2.1 gives an O(k log n) expected approximation ratio.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not is_k_edge_connected(graph, k):
+        raise ValueError(f"the input graph is not {k}-edge-connected; k-ECSS is infeasible")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    cost_model = CostModel(n=graph.number_of_nodes(), diameter=nx.diameter(graph))
+
+    def mst_solver(g: nx.Graph, current: frozenset[Edge], level: int) -> AugmentationResult:
+        del current, level
+        tree = minimum_spanning_tree(g)
+        ledger = RoundLedger()
+        ledger.add("mst-kutten-peleg", cost_model.mst_rounds(),
+                   note="Aug_1 solved by the MST (O(D + sqrt n log* n) rounds [25])")
+        edges = frozenset(canonical_edge(u, v) for u, v in tree.edges())
+        weight = sum(g[u][v].get("weight", 1) for u, v in edges)
+        return AugmentationResult(added=edges, weight=weight, iterations=1, ledger=ledger,
+                                  metadata={"stage": "mst"})
+
+    def aug_solver(g: nx.Graph, current: frozenset[Edge], level: int) -> AugmentationResult:
+        return augment_to_k(
+            g,
+            current,
+            level,
+            seed=rng,
+            schedule_constant=schedule_constant,
+            cost_model=cost_model,
+            use_mst_filter=use_mst_filter,
+        )
+
+    solvers = {1: mst_solver}
+    for level in range(2, k + 1):
+        solvers[level] = aug_solver
+
+    edges, iterations, ledger, stages = compose_augmentations(graph, k, solvers)
+    metadata = {
+        "stages": [
+            {
+                "level": index + 1,
+                "added": len(stage.added),
+                "weight": stage.weight,
+                "iterations": stage.iterations,
+                "cuts": stage.metadata.get("cuts"),
+            }
+            for index, stage in enumerate(stages)
+        ],
+        "round_bound": cost_model.k_ecss_round_bound(k),
+        "diameter": cost_model.diameter,
+    }
+    return ECSSResult.from_edges(
+        k=k,
+        graph=graph,
+        edges=edges,
+        ledger=ledger,
+        iterations=iterations,
+        algorithm="dory-kecss",
+        metadata=metadata,
+    )

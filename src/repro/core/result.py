@@ -1,0 +1,91 @@
+"""The result object returned by every k-ECSS solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+
+from repro.congest.metrics import RoundLedger
+from repro.graphs.connectivity import edge_set, subgraph_weight, verify_spanning_subgraph
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["ECSSResult"]
+
+
+@dataclass
+class ECSSResult:
+    """A k-edge-connected spanning subgraph together with its cost accounting.
+
+    Attributes:
+        k: The connectivity requirement that was solved for.
+        graph: The input graph.
+        edges: The selected edges (canonical form).
+        weight: Total weight of the selected edges.
+        ledger: Round charges for the distributed execution.
+        iterations: Total number of covering iterations across all stages.
+        algorithm: Name of the algorithm that produced the result.
+        metadata: Free-form per-algorithm diagnostics (stage breakdowns,
+            iteration histories, approximation references, ...).
+    """
+
+    k: int
+    graph: nx.Graph
+    edges: frozenset[Edge]
+    weight: int
+    ledger: RoundLedger
+    iterations: int
+    algorithm: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Total (simulated + modelled) CONGEST rounds."""
+        return self.ledger.total_rounds
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def subgraph(self) -> nx.Graph:
+        """Materialise the selected subgraph (with weights) as a ``networkx.Graph``."""
+        result = nx.Graph()
+        result.add_nodes_from(self.graph.nodes())
+        for u, v in self.edges:
+            result.add_edge(u, v, weight=self.graph[u][v].get("weight", 1))
+        return result
+
+    def verify(self) -> tuple[bool, str]:
+        """Re-check that the selected edges form a k-edge-connected spanning subgraph."""
+        return verify_spanning_subgraph(self.graph, self.edges, self.k)
+
+    def approximation_ratio(self, reference_weight: int) -> float:
+        """Return ``weight / reference_weight`` against a baseline or lower bound."""
+        if reference_weight <= 0:
+            raise ValueError("reference weight must be positive")
+        return self.weight / reference_weight
+
+    @staticmethod
+    def from_edges(
+        k: int,
+        graph: nx.Graph,
+        edges,
+        ledger: RoundLedger,
+        iterations: int,
+        algorithm: str,
+        metadata: dict | None = None,
+    ) -> "ECSSResult":
+        """Build a result, canonicalising edges and recomputing the weight."""
+        canonical = edge_set(edges)
+        return ECSSResult(
+            k=k,
+            graph=graph,
+            edges=canonical,
+            weight=subgraph_weight(graph, canonical),
+            ledger=ledger,
+            iterations=iterations,
+            algorithm=algorithm,
+            metadata=metadata or {},
+        )

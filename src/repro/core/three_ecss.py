@@ -1,0 +1,286 @@
+"""Unweighted 3-ECSS via cycle space sampling (Section 5, Theorem 1.3).
+
+The algorithm first builds a 2-approximate unweighted 2-ECSS ``H`` in O(D)
+rounds (a BFS tree plus one covering non-tree edge per tree edge, following
+[1]), then repeatedly augments ``H ∪ A`` towards 3-edge-connectivity:
+
+1. sample cycle-space labels ``phi`` of ``H ∪ A`` (O(D) rounds, Lemma 5.5);
+2. every edge outside ``H ∪ A`` computes how many *uncovered* cut pairs it
+   covers via the label counts of Claim 5.8 -- its cost-effectiveness, since
+   the graph is unweighted;
+3. the maximisers become candidates and each joins ``A`` independently with
+   probability ``p_i`` (the same guessing schedule as Section 4, without the
+   MST filtering);
+4. the algorithm stops once no tree edge shares its label with another edge
+   (Claim 5.10), i.e. ``H ∪ A`` is 3-edge-connected.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+
+from repro.congest.cost_model import CostModel
+from repro.congest.metrics import RoundLedger
+from repro.core.cost_effectiveness import round_up_to_power_of_two
+from repro.core.result import ECSSResult
+from repro.cycle_space.labels import compute_labels
+from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
+from repro.trees.lca import LCAIndex
+from repro.trees.rooted import RootedTree
+
+from fractions import Fraction
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["ThreeEcssIterationStats", "unweighted_two_ecss_2approx", "three_ecss"]
+
+
+@dataclass(frozen=True)
+class ThreeEcssIterationStats:
+    """Per-iteration diagnostics of the 3-ECSS augmentation loop."""
+
+    iteration: int
+    probability: float
+    candidates: int
+    added: int
+    tree_edges_in_cut_pairs: int
+
+
+def unweighted_two_ecss_2approx(
+    graph: nx.Graph,
+    root: Hashable | None = None,
+    cost_model: CostModel | None = None,
+) -> tuple[set[Edge], RootedTree, RoundLedger]:
+    """The O(D)-round 2-approximation for unweighted 2-ECSS of [1] (used as ``H``).
+
+    Builds a BFS tree and, for every tree edge, keeps one covering non-tree
+    edge (chosen as the one covering the most still-uncovered tree edges, a
+    small optimisation that only reduces the size).  The output has at most
+    ``2 (n - 1)`` edges while any 2-ECSS has at least ``n`` edges, hence the
+    factor-2 guarantee.
+
+    Returns ``(edges, bfs_tree, ledger)``.
+    """
+    if not is_k_edge_connected(graph, 2):
+        raise ValueError("the input graph is not 2-edge-connected")
+    if cost_model is None:
+        cost_model = CostModel(n=graph.number_of_nodes(), diameter=nx.diameter(graph))
+    tree = RootedTree.bfs_tree(graph, root=root)
+    lca = LCAIndex(tree)
+    tree_edges = tree.tree_edges()
+    tree_edge_set = set(tree_edges)
+
+    paths: dict[Edge, frozenset[Edge]] = {}
+    for u, v in graph.edges():
+        edge = canonical_edge(u, v)
+        if edge in tree_edge_set:
+            continue
+        paths[edge] = frozenset(lca.tree_path_edges(u, v))
+
+    chosen: set[Edge] = set(tree_edge_set)
+    covered: set[Edge] = set()
+    # Greedily cover the tree edges, preferring edges that cover many at once.
+    for edge, path in sorted(paths.items(), key=lambda item: (-len(item[1]), repr(item[0]))):
+        if path - covered:
+            chosen.add(edge)
+            covered.update(path)
+        if len(covered) == len(tree_edge_set):
+            break
+    uncovered = tree_edge_set - covered
+    if uncovered:
+        raise ValueError("the input graph is not 2-edge-connected (uncoverable bridges)")
+
+    ledger = RoundLedger()
+    ledger.add(
+        "unweighted-2ecss-H",
+        cost_model.unweighted_two_ecss_rounds(),
+        note="O(D)-round 2-approximation for unweighted 2-ECSS [1]",
+    )
+    return chosen, tree, ledger
+
+
+def three_ecss(
+    graph: nx.Graph,
+    seed: int | random.Random | None = None,
+    label_bits: int | None = None,
+    exact_labels: bool = False,
+    schedule_constant: int = 2,
+    simulate_bfs: bool = False,
+) -> ECSSResult:
+    """Unweighted 3-ECSS (Theorem 1.3).
+
+    Args:
+        graph: A 3-edge-connected graph (weights, if any, are ignored --
+            the problem is the minimum *size* 3-ECSS).
+        seed: Randomness for labels and candidate activation.
+        label_bits: Width of the cycle-space labels (default ``4 log n + 8``).
+        exact_labels: Use deterministic covering-set labels instead of random
+            ones (removes the 2^-b error; used by tests and the E7 ablation).
+        schedule_constant: The ``M`` of the probability-doubling schedule.
+        simulate_bfs: Run the BFS construction as a message-passing simulation.
+
+    Returns:
+        An :class:`ECSSResult` with ``k = 3``; the weight equals the number of
+        edges because the problem is unweighted.
+    """
+    if not is_k_edge_connected(graph, 3):
+        raise ValueError("the input graph is not 3-edge-connected; 3-ECSS is infeasible")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    diameter = nx.diameter(graph)
+    cost_model = CostModel(n=n, diameter=diameter)
+    ledger = RoundLedger()
+
+    if simulate_bfs:
+        from repro.congest.primitives import simulate_bfs_tree
+
+        _, report = simulate_bfs_tree(graph)
+        ledger.add_report(report)
+
+    h_edges, tree, h_ledger = unweighted_two_ecss_2approx(graph, cost_model=cost_model)
+    ledger.extend(h_ledger)
+    lca = LCAIndex(tree)
+    tree_edge_set = set(tree.tree_edges())
+
+    # Pre-compute the tree path of every potential candidate edge.
+    candidate_paths: dict[Edge, list[Edge]] = {}
+    for u, v in graph.edges():
+        edge = canonical_edge(u, v)
+        if edge in h_edges:
+            continue
+        candidate_paths[edge] = [canonical_edge(a, b) for a, b in lca.tree_path_edges(u, v)]
+
+    added: set[Edge] = set()
+    history: list[ThreeEcssIterationStats] = []
+    mode = "exact" if exact_labels else "random"
+
+    probability = 1.0 / (2 ** max(1, math.ceil(math.log2(max(graph.number_of_edges(), 2)))))
+    phase_length = max(1, schedule_constant * cost_model.log_n)
+    phase_counter = 0
+    previous_max: Fraction | None = None
+    previous_probability_was_one = False
+
+    max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
+    iteration = 0
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(f"3-ECSS did not converge within {max_iterations} iterations")
+
+        current = nx.Graph()
+        current.add_nodes_from(graph.nodes())
+        current.add_edges_from(h_edges | added)
+        labelling = compute_labels(current, tree=tree, bits=label_bits, mode=mode,
+                                   seed=rng, lca=lca)
+        ledger.add(
+            "3ecss-iteration",
+            cost_model.three_ecss_iteration_rounds(),
+            note=f"iteration {iteration} (labels + cost-effectiveness, O(D))",
+        )
+
+        n_phi = Counter(labelling.labels.values())
+        tree_in_pairs = sum(
+            1 for t in tree_edge_set if n_phi[labelling.labels[t]] > 1
+        )
+        if tree_in_pairs == 0:
+            history.append(
+                ThreeEcssIterationStats(
+                    iteration=iteration,
+                    probability=probability,
+                    candidates=0,
+                    added=0,
+                    tree_edges_in_cut_pairs=0,
+                )
+            )
+            break
+
+        # Claim 5.8: cost-effectiveness of e is sum over labels on its path of
+        # n_{phi,e} * (n_phi - n_{phi,e}).
+        effectiveness: dict[Edge, int] = {}
+        for edge, path in candidate_paths.items():
+            if edge in added:
+                continue
+            on_path = Counter(labelling.labels[t] for t in path)
+            value = sum(
+                count * (n_phi[label] - count) for label, count in on_path.items()
+            )
+            if value > 0:
+                effectiveness[edge] = value
+        if not effectiveness:
+            raise RuntimeError(
+                "no remaining edge covers the remaining cut pairs; "
+                "the input graph is not 3-edge-connected"
+            )
+
+        computed_max = max(
+            round_up_to_power_of_two(Fraction(value)) for value in effectiveness.values()
+        )
+        # Lemma 5.11's robustness tweak: the maximum rounded cost-effectiveness
+        # is forced to be non-increasing, and to halve after a p = 1 iteration.
+        maximum = computed_max
+        if previous_max is not None:
+            maximum = min(maximum, previous_max)
+            if previous_probability_was_one:
+                maximum = min(maximum, previous_max / 2)
+        candidates = sorted(
+            (
+                edge
+                for edge, value in effectiveness.items()
+                if round_up_to_power_of_two(Fraction(value)) >= maximum
+            ),
+            key=repr,
+        )
+
+        if maximum != previous_max:
+            probability = 1.0 / (
+                2 ** max(1, math.ceil(math.log2(max(graph.number_of_edges(), 2))))
+            )
+            phase_counter = 0
+        elif phase_counter >= phase_length and probability < 1.0:
+            probability = min(1.0, probability * 2)
+            phase_counter = 0
+        phase_counter += 1
+        previous_max = maximum
+        previous_probability_was_one = probability >= 1.0
+
+        if probability >= 1.0:
+            active = list(candidates)
+        else:
+            active = [edge for edge in candidates if rng.random() < probability]
+        added.update(active)
+
+        history.append(
+            ThreeEcssIterationStats(
+                iteration=iteration,
+                probability=probability,
+                candidates=len(candidates),
+                added=len(active),
+                tree_edges_in_cut_pairs=tree_in_pairs,
+            )
+        )
+
+    edges = h_edges | added
+    metadata = {
+        "h_size": len(h_edges),
+        "augmentation_size": len(added),
+        "iterations_history": history,
+        "diameter": diameter,
+        "round_bound": cost_model.three_ecss_round_bound(),
+        "label_mode": mode,
+    }
+    result = ECSSResult.from_edges(
+        k=3,
+        graph=graph,
+        edges=edges,
+        ledger=ledger,
+        iterations=iteration,
+        algorithm="dory-3ecss",
+        metadata=metadata,
+    )
+    return result

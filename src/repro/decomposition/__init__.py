@@ -1,0 +1,25 @@
+"""Tree decomposition into segments and the skeleton tree (Section 3.2).
+
+The weighted-TAP algorithm of Section 3 parallelises its per-iteration
+computations by decomposing the MST into O(sqrt n) edge-disjoint *segments*
+of diameter O(sqrt n), each with a root ``r_S``, a unique descendant ``d_S``
+and a *highway* (the tree path between them); the *skeleton tree* has the
+marked vertices as nodes and the highways as edges.
+
+* :mod:`repro.decomposition.marking` -- marked vertices: endpoints of global
+  (inter-fragment) MST edges plus the root, closed under LCA (Lemma 3.4).
+* :mod:`repro.decomposition.segments` -- segments and their properties.
+* :mod:`repro.decomposition.skeleton` -- the skeleton tree.
+"""
+
+from repro.decomposition.marking import mark_vertices
+from repro.decomposition.segments import Segment, TreeDecomposition, build_decomposition
+from repro.decomposition.skeleton import SkeletonTree
+
+__all__ = [
+    "mark_vertices",
+    "Segment",
+    "TreeDecomposition",
+    "build_decomposition",
+    "SkeletonTree",
+]

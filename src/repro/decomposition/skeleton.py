@@ -1,0 +1,131 @@
+"""The skeleton tree of the segment decomposition (Section 3.2, step III).
+
+The skeleton tree ``T_S`` is the virtual tree whose vertices are the marked
+vertices and whose edges correspond to segment highways: ``v`` is the parent
+of ``u`` in ``T_S`` iff ``v = r_S`` and ``u = d_S`` for some segment ``S``.
+All vertices learn the complete structure of ``T_S`` (Claim 3.1); the TAP
+implementation uses it to reason about the tree path between vertices of
+different segments as a concatenation of highways.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+import networkx as nx
+
+from repro.graphs.connectivity import canonical_edge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.decomposition.segments import Segment
+    from repro.trees.rooted import RootedTree
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["SkeletonTree"]
+
+
+class SkeletonTree:
+    """The virtual tree over marked vertices whose edges are segment highways."""
+
+    def __init__(
+        self,
+        root: Hashable,
+        parent: dict[Hashable, Hashable | None],
+        highway_of: dict[Edge, list[Hashable]],
+    ) -> None:
+        self._root = root
+        self._parent = parent
+        self._highway_of = highway_of
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def from_segments(
+        tree: "RootedTree",
+        marked: set[Hashable],
+        segments: list["Segment"],
+    ) -> "SkeletonTree":
+        """Build the skeleton tree from the highway segments."""
+        parent: dict[Hashable, Hashable | None] = {v: None for v in marked}
+        highway_of: dict[Edge, list[Hashable]] = {}
+        for segment in segments:
+            if not segment.has_highway:
+                continue
+            parent[segment.descendant] = segment.root
+            highway_of[canonical_edge(segment.root, segment.descendant)] = list(
+                segment.highway_vertices
+            )
+        return SkeletonTree(root=tree.root, parent=parent, highway_of=highway_of)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def root(self) -> Hashable:
+        return self._root
+
+    def nodes(self) -> set[Hashable]:
+        """The marked vertices."""
+        return set(self._parent)
+
+    def parent(self, vertex: Hashable) -> Hashable | None:
+        """Parent of *vertex* in the skeleton tree (None for the root)."""
+        return self._parent[vertex]
+
+    def edges(self) -> list[Edge]:
+        """Skeleton edges as canonical ``(r_S, d_S)`` pairs."""
+        return list(self._highway_of)
+
+    def highway(self, r: Hashable, d: Hashable) -> list[Hashable]:
+        """The tree vertices of the highway corresponding to skeleton edge ``{r, d}``."""
+        return list(self._highway_of[canonical_edge(r, d)])
+
+    def depth(self, vertex: Hashable) -> int:
+        """Depth of *vertex* in the skeleton tree."""
+        depth = 0
+        current = self._parent[vertex]
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def path(self, u: Hashable, v: Hashable) -> list[Hashable]:
+        """Skeleton vertices on the path between two marked vertices (inclusive)."""
+        if u not in self._parent or v not in self._parent:
+            raise KeyError("both endpoints must be marked vertices")
+        ancestors_u = [u]
+        current = u
+        while self._parent[current] is not None:
+            current = self._parent[current]
+            ancestors_u.append(current)
+        ancestor_set = {vertex: index for index, vertex in enumerate(ancestors_u)}
+        path_v = [v]
+        current = v
+        while current not in ancestor_set:
+            current = self._parent[current]
+            path_v.append(current)
+        meet_index = ancestor_set[current]
+        return ancestors_u[:meet_index] + list(reversed(path_v))
+
+    def expand_path_to_tree_edges(self, u: Hashable, v: Hashable) -> list[Edge]:
+        """Expand the skeleton path between *u* and *v* into the underlying tree edges.
+
+        This is the `P_{r_u, r_v}` of the cost-effectiveness computation
+        (Section 3.1, case 2): the tree path between two marked vertices is the
+        concatenation of the highways along their skeleton path.
+        """
+        skeleton_path = self.path(u, v)
+        edges: list[Edge] = []
+        for a, b in zip(skeleton_path, skeleton_path[1:]):
+            highway = self._highway_of[canonical_edge(a, b)]
+            edges.extend(
+                canonical_edge(x, y) for x, y in zip(highway, highway[1:])
+            )
+        return edges
+
+    def as_networkx(self) -> nx.Graph:
+        """Return the skeleton tree as a ``networkx.Graph`` (for plotting / tests)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._parent)
+        for child, parent in self._parent.items():
+            if parent is not None:
+                graph.add_edge(parent, child)
+        return graph

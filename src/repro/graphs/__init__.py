@@ -1,0 +1,60 @@
+"""Graph substrate: generators, connectivity queries and cut enumeration.
+
+The algorithms in :mod:`repro.core` operate on weighted undirected
+``networkx.Graph`` instances whose edges carry an integer ``weight``
+attribute (the paper assumes integer weights polynomial in ``n``).  This
+subpackage provides
+
+* :mod:`repro.graphs.generators` -- families of k-edge-connected test graphs,
+* :mod:`repro.graphs.connectivity` -- connectivity queries and verification,
+* :mod:`repro.graphs.cuts` -- enumeration of small edge cuts (the objects the
+  augmentation algorithms must cover).
+"""
+
+from repro.graphs.generators import (
+    GraphFamily,
+    random_k_edge_connected_graph,
+    cycle_with_chords,
+    harary_graph,
+    clique_chain,
+    grid_torus,
+    assign_random_weights,
+    assign_unit_weights,
+)
+from repro.graphs.connectivity import (
+    edge_connectivity,
+    is_k_edge_connected,
+    bridges,
+    verify_spanning_subgraph,
+    subgraph_weight,
+)
+from repro.graphs.cuts import (
+    Cut,
+    enumerate_cuts_of_size,
+    enumerate_bridge_cuts,
+    enumerate_cut_pairs,
+    enumerate_min_cuts_contraction,
+    cut_is_covered,
+)
+
+__all__ = [
+    "GraphFamily",
+    "random_k_edge_connected_graph",
+    "cycle_with_chords",
+    "harary_graph",
+    "clique_chain",
+    "grid_torus",
+    "assign_random_weights",
+    "assign_unit_weights",
+    "edge_connectivity",
+    "is_k_edge_connected",
+    "bridges",
+    "verify_spanning_subgraph",
+    "subgraph_weight",
+    "Cut",
+    "enumerate_cuts_of_size",
+    "enumerate_bridge_cuts",
+    "enumerate_cut_pairs",
+    "enumerate_min_cuts_contraction",
+    "cut_is_covered",
+]

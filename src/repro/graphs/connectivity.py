@@ -1,0 +1,119 @@
+"""Connectivity queries and verification helpers.
+
+These are the *verification* side of the reproduction: every algorithm in
+:mod:`repro.core` promises a k-edge-connected spanning subgraph, and the test
+suite checks that promise with the functions here (which are independent of
+the algorithms under test -- they go through networkx max-flow / bridge
+finding).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = [
+    "edge_connectivity",
+    "is_k_edge_connected",
+    "bridges",
+    "subgraph_weight",
+    "verify_spanning_subgraph",
+    "edge_set",
+    "canonical_edge",
+]
+
+
+def canonical_edge(u: Hashable, v: Hashable) -> Edge:
+    """Return the endpoints of an undirected edge in a canonical (sorted) order.
+
+    Falls back to ordering by ``repr`` when the endpoints are not mutually
+    comparable (e.g. mixed int/str node labels).
+    """
+    try:
+        return (u, v) if u <= v else (v, u)
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def edge_set(graph_or_edges: nx.Graph | Iterable[Edge]) -> frozenset[Edge]:
+    """Return the edges of a graph (or edge iterable) as a canonical frozenset."""
+    if isinstance(graph_or_edges, nx.Graph):
+        edges: Iterable[Edge] = graph_or_edges.edges()
+    else:
+        edges = graph_or_edges
+    return frozenset(canonical_edge(u, v) for u, v in edges)
+
+
+def edge_connectivity(graph: nx.Graph) -> int:
+    """Return the (global, unweighted) edge connectivity of *graph*.
+
+    A disconnected or single-vertex graph has edge connectivity 0.
+    """
+    if graph.number_of_nodes() <= 1:
+        return 0
+    if not nx.is_connected(graph):
+        return 0
+    return nx.edge_connectivity(graph)
+
+
+def is_k_edge_connected(graph: nx.Graph, k: int) -> bool:
+    """Return ``True`` iff *graph* remains connected after any ``k - 1`` edge removals."""
+    if k <= 0:
+        return True
+    if graph.number_of_nodes() <= 1:
+        return False
+    if k == 1:
+        return nx.is_connected(graph)
+    if min((d for _, d in graph.degree()), default=0) < k:
+        return False
+    return edge_connectivity(graph) >= k
+
+
+def bridges(graph: nx.Graph) -> set[Edge]:
+    """Return the set of bridges (cut edges) of *graph* in canonical form."""
+    if graph.number_of_edges() == 0:
+        return set()
+    return {canonical_edge(u, v) for u, v in nx.bridges(graph)}
+
+
+def subgraph_weight(graph: nx.Graph, edges: Iterable[Edge]) -> int:
+    """Return the total ``weight`` of *edges*, looked up in *graph*.
+
+    Raises ``KeyError`` if an edge is not present in *graph*.
+    """
+    total = 0
+    for u, v in edges:
+        if not graph.has_edge(u, v):
+            raise KeyError(f"edge ({u!r}, {v!r}) is not an edge of the graph")
+        total += graph[u][v].get("weight", 1)
+    return total
+
+
+def verify_spanning_subgraph(
+    graph: nx.Graph,
+    edges: Iterable[Edge],
+    k: int,
+) -> tuple[bool, str]:
+    """Check that *edges* form a k-edge-connected spanning subgraph of *graph*.
+
+    Returns a ``(ok, reason)`` pair: ``reason`` is the empty string when the
+    check passes and a human-readable explanation otherwise.  Used pervasively
+    by the tests and the CLI ``verify`` command.
+    """
+    chosen = edge_set(edges)
+    graph_edges = edge_set(graph)
+    foreign = chosen - graph_edges
+    if foreign:
+        return False, f"{len(foreign)} selected edges are not edges of the input graph"
+    subgraph = nx.Graph()
+    subgraph.add_nodes_from(graph.nodes())
+    subgraph.add_edges_from(chosen)
+    if not nx.is_connected(subgraph):
+        return False, "selected subgraph is not connected"
+    connectivity = edge_connectivity(subgraph)
+    if connectivity < k:
+        return False, f"selected subgraph has edge connectivity {connectivity} < {k}"
+    return True, ""

@@ -1,0 +1,315 @@
+"""Generators of k-edge-connected test graphs and weight schemes.
+
+The paper evaluates nothing empirically, so the reproduction needs its own
+workloads.  The families below are chosen to exercise the regimes the
+theorems talk about:
+
+* ``cycle_with_chords`` -- 2-edge-connected graphs whose diameter is
+  Theta(n) unless chords shrink it; useful for stressing the ``D`` term.
+* ``harary_graph`` -- the classic minimum-size k-edge-connected circulant
+  H_{k,n}; adding random extra edges gives k-edge-connected graphs with a
+  non-trivial optimum.
+* ``clique_chain`` -- a path of small cliques; keeps the diameter large and
+  the edge connectivity controlled by the number of parallel bridges.
+* ``grid_torus`` -- 4-edge-connected torus grids with small diameter.
+* ``random_k_edge_connected_graph`` -- G(n, p) repaired to be
+  k-edge-connected by adding Harary-style circulant edges.
+
+All generators return graphs whose nodes are ``0..n-1`` and whose edges have
+an integer ``weight`` attribute (default 1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import networkx as nx
+
+__all__ = [
+    "GraphFamily",
+    "harary_graph",
+    "cycle_with_chords",
+    "clique_chain",
+    "grid_torus",
+    "random_k_edge_connected_graph",
+    "assign_random_weights",
+    "assign_unit_weights",
+    "FAMILIES",
+    "make_family",
+]
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    """Return a ``random.Random`` from a seed, an existing Random, or None."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def assign_unit_weights(graph: nx.Graph) -> nx.Graph:
+    """Set ``weight = 1`` on every edge of *graph* (in place) and return it."""
+    for _, _, data in graph.edges(data=True):
+        data["weight"] = 1
+    return graph
+
+
+def assign_random_weights(
+    graph: nx.Graph,
+    low: int = 1,
+    high: int = 100,
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Assign independent uniform integer weights in ``[low, high]`` (in place).
+
+    The paper assumes integer weights polynomial in ``n`` so that a weight
+    fits in an O(log n)-bit message; the defaults satisfy that for any
+    realistic ``n``.
+    """
+    if low < 0:
+        raise ValueError("weights must be non-negative")
+    if high < low:
+        raise ValueError("high must be >= low")
+    rng = _rng(seed)
+    for _, _, data in graph.edges(data=True):
+        data["weight"] = rng.randint(low, high)
+    return graph
+
+
+def harary_graph(n: int, k: int) -> nx.Graph:
+    """Return the circulant Harary graph ``H_{k,n}`` (k-edge-connected, unit weights).
+
+    Every vertex ``i`` is connected to ``i +- 1, ..., i +- ceil(k/2)``
+    (mod n); for odd ``k`` the antipodal edge is added as well.  The result
+    has minimum degree ``k`` and edge connectivity exactly ``k`` whenever
+    ``n > k``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n <= k:
+        raise ValueError("need n > k for a k-edge-connected simple graph")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    half = k // 2
+    for offset in range(1, half + 1):
+        for i in range(n):
+            graph.add_edge(i, (i + offset) % n, weight=1)
+    if k % 2 == 1:
+        # Odd k: connect each vertex to (roughly) its antipode.
+        for i in range(n):
+            graph.add_edge(i, (i + n // 2) % n, weight=1)
+    return graph
+
+
+def cycle_with_chords(
+    n: int,
+    extra_edges: int = 0,
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Return a cycle on ``n`` vertices plus *extra_edges* random chords.
+
+    The cycle alone is 2-edge-connected with diameter ``n // 2``; chords both
+    shrink the diameter and create cheaper augmentation alternatives, which is
+    exactly the structure the TAP algorithm of Section 3 exploits.
+    """
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    rng = _rng(seed)
+    graph = nx.cycle_graph(n)
+    assign_unit_weights(graph)
+    attempts = 0
+    added = 0
+    max_attempts = 50 * max(extra_edges, 1)
+    while added < extra_edges and attempts < max_attempts:
+        attempts += 1
+        u, v = rng.sample(range(n), 2)
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, weight=1)
+        added += 1
+    return graph
+
+
+def clique_chain(num_cliques: int, clique_size: int = 4, bridges_between: int = 2) -> nx.Graph:
+    """Return a chain of cliques joined by *bridges_between* parallel edges each.
+
+    The graph is ``min(bridges_between, clique_size - 1)``-edge-connected and
+    has diameter Theta(num_cliques): a long-and-thin family used to exercise
+    the ``D`` term of the round bounds separately from ``sqrt(n)``.
+    """
+    if num_cliques < 1:
+        raise ValueError("need at least one clique")
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    if bridges_between < 1:
+        raise ValueError("bridges_between must be >= 1")
+    if bridges_between > clique_size:
+        raise ValueError("bridges_between cannot exceed clique_size")
+    graph = nx.Graph()
+    for block in range(num_cliques):
+        base = block * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                graph.add_edge(base + i, base + j, weight=1)
+        if block > 0:
+            prev_base = (block - 1) * clique_size
+            for b in range(bridges_between):
+                graph.add_edge(prev_base + b, base + b, weight=1)
+    return graph
+
+
+def grid_torus(rows: int, cols: int) -> nx.Graph:
+    """Return a ``rows x cols`` torus grid (4-edge-connected for rows, cols >= 3)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus grids need rows, cols >= 3")
+    graph = nx.Graph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            graph.add_edge(node, right, weight=1)
+            graph.add_edge(node, down, weight=1)
+    return graph
+
+
+def random_k_edge_connected_graph(
+    n: int,
+    k: int,
+    extra_edge_prob: float = 0.1,
+    weight_range: tuple[int, int] | None = (1, 100),
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Return a random k-edge-connected graph on ``n`` vertices.
+
+    Construction: start from the Harary graph ``H_{k,n}`` (which certifies
+    k-edge-connectivity), then add every remaining pair as an edge
+    independently with probability *extra_edge_prob*.  If *weight_range* is
+    given, weights are uniform integers in that range, otherwise unit.
+
+    The extra random edges are what make the minimum k-ECSS non-trivial: the
+    optimum must choose among many redundant edges, which is the regime in
+    which the greedy/cover framework of the paper is interesting.
+    """
+    rng = _rng(seed)
+    graph = harary_graph(n, k)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if graph.has_edge(u, v):
+                continue
+            if rng.random() < extra_edge_prob:
+                graph.add_edge(u, v, weight=1)
+    if weight_range is None:
+        assign_unit_weights(graph)
+    else:
+        assign_random_weights(graph, weight_range[0], weight_range[1], seed=rng)
+    return graph
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """A named, parameterised workload used by the experiment harness.
+
+    Attributes:
+        name: Identifier used in experiment tables.
+        description: One-line description of the regime the family exercises.
+        build: Callable mapping ``(n, seed)`` to a graph with ~n vertices.
+        connectivity: The edge connectivity the family guarantees.
+        weighted: Whether the family carries non-unit weights.
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, int], nx.Graph]
+    connectivity: int
+    weighted: bool
+
+    def __call__(self, n: int, seed: int = 0) -> nx.Graph:
+        return self.build(n, seed)
+
+
+def _build_weighted_sparse(n: int, seed: int) -> nx.Graph:
+    return random_k_edge_connected_graph(n, 2, extra_edge_prob=3.0 / max(n, 4), seed=seed)
+
+
+def _build_weighted_dense(n: int, seed: int) -> nx.Graph:
+    return random_k_edge_connected_graph(n, 2, extra_edge_prob=0.3, seed=seed)
+
+
+def _build_unweighted_cycle(n: int, seed: int) -> nx.Graph:
+    return cycle_with_chords(n, extra_edges=max(2, n // 4), seed=seed)
+
+
+def _build_long_chain(n: int, seed: int) -> nx.Graph:
+    del seed  # deterministic family
+    num_cliques = max(2, n // 4)
+    return clique_chain(num_cliques, clique_size=4, bridges_between=2)
+
+
+def _build_torus(n: int, seed: int) -> nx.Graph:
+    del seed  # deterministic family
+    side = max(3, round(n ** 0.5))
+    return grid_torus(side, side)
+
+
+def _build_weighted_k3(n: int, seed: int) -> nx.Graph:
+    return random_k_edge_connected_graph(n, 3, extra_edge_prob=0.2, seed=seed)
+
+
+FAMILIES: dict[str, GraphFamily] = {
+    family.name: family
+    for family in [
+        GraphFamily(
+            name="weighted-sparse",
+            description="Harary H_{2,n} + ~3 random chords/vertex, weights U[1,100]",
+            build=_build_weighted_sparse,
+            connectivity=2,
+            weighted=True,
+        ),
+        GraphFamily(
+            name="weighted-dense",
+            description="Harary H_{2,n} + G(n, 0.3) extras, weights U[1,100]",
+            build=_build_weighted_dense,
+            connectivity=2,
+            weighted=True,
+        ),
+        GraphFamily(
+            name="unweighted-cycle-chords",
+            description="cycle + n/4 chords, unit weights (large diameter)",
+            build=_build_unweighted_cycle,
+            connectivity=2,
+            weighted=False,
+        ),
+        GraphFamily(
+            name="clique-chain",
+            description="path of 4-cliques joined by double bridges (D = Theta(n))",
+            build=_build_long_chain,
+            connectivity=2,
+            weighted=False,
+        ),
+        GraphFamily(
+            name="torus",
+            description="sqrt(n) x sqrt(n) torus grid (4-edge-connected, D = O(sqrt n))",
+            build=_build_torus,
+            connectivity=4,
+            weighted=False,
+        ),
+        GraphFamily(
+            name="weighted-k3",
+            description="Harary H_{3,n} + G(n, 0.2) extras, weights U[1,100]",
+            build=_build_weighted_k3,
+            connectivity=3,
+            weighted=True,
+        ),
+    ]
+}
+
+
+def make_family(name: str) -> GraphFamily:
+    """Look up a registered :class:`GraphFamily` by name."""
+    try:
+        return FAMILIES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown graph family {name!r}; known families: {known}") from exc

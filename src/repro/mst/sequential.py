@@ -1,0 +1,109 @@
+"""Deterministic reference MST algorithms.
+
+The distributed algorithms only ever need *an* MST, but the reproduction
+benefits from a *canonical* one: Kruskal with ties broken by the canonical
+edge id makes every run of the 2-ECSS pipeline deterministic given the graph
+and the random seed of the TAP stage, which keeps tests reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+import networkx as nx
+
+from repro.graphs.connectivity import canonical_edge
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["minimum_spanning_tree", "prim_mst", "mst_weight"]
+
+
+class _UnionFind:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, items) -> None:
+        self.parent = {item: item for item in items}
+        self.size = {item: 1 for item in items}
+
+    def find(self, item):
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a, b) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+
+def minimum_spanning_tree(graph: nx.Graph) -> nx.Graph:
+    """Return the canonical MST of a connected *graph* (Kruskal, deterministic ties).
+
+    Edges are compared by ``(weight, canonical edge id)`` so the result is
+    unique even when weights repeat; weights are copied onto the output tree.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot compute an MST of an empty graph")
+    if not nx.is_connected(graph):
+        raise ValueError("the graph is not connected; it has no spanning tree")
+    ordered = sorted(
+        (data.get("weight", 1), canonical_edge(u, v))
+        for u, v, data in graph.edges(data=True)
+    )
+    forest = _UnionFind(graph.nodes())
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    for weight, (u, v) in ordered:
+        if forest.union(u, v):
+            tree.add_edge(u, v, weight=weight)
+            if tree.number_of_edges() == graph.number_of_nodes() - 1:
+                break
+    return tree
+
+
+def prim_mst(graph: nx.Graph, start: Hashable | None = None) -> nx.Graph:
+    """Return an MST of *graph* via Prim's algorithm (used as a cross-check in tests)."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("cannot compute an MST of an empty graph")
+    if not nx.is_connected(graph):
+        raise ValueError("the graph is not connected; it has no spanning tree")
+    if start is None:
+        start = min(graph.nodes(), key=repr)
+    visited = {start}
+    tree = nx.Graph()
+    tree.add_nodes_from(graph.nodes())
+    heap: list[tuple[int, Edge]] = []
+    for neighbor in graph.neighbors(start):
+        heapq.heappush(
+            heap, (graph[start][neighbor].get("weight", 1), canonical_edge(start, neighbor))
+        )
+    while heap and len(visited) < graph.number_of_nodes():
+        weight, (u, v) = heapq.heappop(heap)
+        if u in visited and v in visited:
+            continue
+        new = v if u in visited else u
+        tree.add_edge(u, v, weight=weight)
+        visited.add(new)
+        for neighbor in graph.neighbors(new):
+            if neighbor not in visited:
+                heapq.heappush(
+                    heap,
+                    (graph[new][neighbor].get("weight", 1), canonical_edge(new, neighbor)),
+                )
+    return tree
+
+
+def mst_weight(graph: nx.Graph) -> int:
+    """Return the total weight of the canonical MST of *graph*."""
+    tree = minimum_spanning_tree(graph)
+    return sum(data.get("weight", 1) for _, _, data in tree.edges(data=True))

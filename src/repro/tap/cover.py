@@ -1,0 +1,127 @@
+"""Coverage bookkeeping for tree augmentation.
+
+``CoverageState`` materialises, for every non-tree edge ``e`` of the input
+graph, the set ``S_e`` of tree edges on its tree path (the cuts of size 1 it
+covers), and maintains the set of tree edges already covered by the
+augmentation built so far.  Both the distributed and the sequential TAP
+algorithms, as well as the exact ILP baseline, are built on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.graphs.connectivity import canonical_edge
+from repro.trees.lca import LCAIndex
+from repro.trees.rooted import RootedTree
+
+Edge = tuple[Hashable, Hashable]
+
+__all__ = ["CoverageState"]
+
+
+class CoverageState:
+    """Tracks which tree edges are covered by the augmentation edges added so far.
+
+    Args:
+        graph: The weighted 2-edge-connected graph ``G``.
+        tree: The spanning tree ``T`` to augment (typically the MST).
+        lca: Optional pre-built LCA index over *tree*.
+    """
+
+    def __init__(self, graph: nx.Graph, tree: RootedTree, lca: LCAIndex | None = None) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.lca = lca if lca is not None else LCAIndex(tree)
+
+        self._tree_edges: list[Edge] = sorted(tree.tree_edges(), key=repr)
+        self._tree_edge_index: dict[Edge, int] = {
+            edge: index for index, edge in enumerate(self._tree_edges)
+        }
+        self._covered: set[int] = set()
+
+        tree_edge_set = set(self._tree_edges)
+        self._paths: dict[Edge, frozenset[int]] = {}
+        self._weights: dict[Edge, int] = {}
+        for u, v, data in graph.edges(data=True):
+            edge = canonical_edge(u, v)
+            if edge in tree_edge_set:
+                continue
+            path = frozenset(
+                self._tree_edge_index[canonical_edge(a, b)]
+                for a, b in self.lca.tree_path_edges(u, v)
+            )
+            self._paths[edge] = path
+            self._weights[edge] = data.get("weight", 1)
+
+    # --------------------------------------------------------------- queries
+    @property
+    def tree_edges(self) -> list[Edge]:
+        """All tree edges (cuts of size 1) in canonical form."""
+        return list(self._tree_edges)
+
+    @property
+    def non_tree_edges(self) -> list[Edge]:
+        """All non-tree edges of the graph (the augmentation candidates)."""
+        return list(self._paths)
+
+    def weight(self, edge: Edge) -> int:
+        """Weight of a non-tree *edge*."""
+        return self._weights[canonical_edge(*edge)]
+
+    def path(self, edge: Edge) -> frozenset[int]:
+        """Indices of the tree edges covered by non-tree *edge* (the set ``S_e``)."""
+        return self._paths[canonical_edge(*edge)]
+
+    def tree_edge_by_index(self, index: int) -> Edge:
+        return self._tree_edges[index]
+
+    def tree_edge_index(self, edge: Edge) -> int:
+        return self._tree_edge_index[canonical_edge(*edge)]
+
+    def is_covered(self, tree_edge: Edge) -> bool:
+        """Is *tree_edge* covered by the augmentation added so far?"""
+        return self._tree_edge_index[canonical_edge(*tree_edge)] in self._covered
+
+    def covered_indices(self) -> frozenset[int]:
+        return frozenset(self._covered)
+
+    def uncovered_indices(self) -> frozenset[int]:
+        return frozenset(range(len(self._tree_edges))) - frozenset(self._covered)
+
+    def uncovered_on_path(self, edge: Edge) -> frozenset[int]:
+        """Return ``C_e``: the still-uncovered tree edges on the path of *edge*."""
+        return self.path(edge) - frozenset(self._covered)
+
+    def uncovered_count(self, edge: Edge) -> int:
+        """Return ``|C_e|`` for non-tree *edge*."""
+        return len(self.uncovered_on_path(edge))
+
+    def all_covered(self) -> bool:
+        """Are all tree edges covered (i.e. is ``T ∪ A`` 2-edge-connected)?"""
+        return len(self._covered) == len(self._tree_edges)
+
+    # --------------------------------------------------------------- updates
+    def cover_with(self, edge: Edge) -> set[int]:
+        """Mark the tree edges on the path of *edge* covered; return the newly covered ones."""
+        path = self.path(edge)
+        new = set(path) - self._covered
+        self._covered.update(path)
+        return new
+
+    def cover_with_many(self, edges: Iterable[Edge]) -> set[int]:
+        """Cover with several edges at once; return all newly covered indices."""
+        new: set[int] = set()
+        for edge in edges:
+            new.update(self.cover_with(edge))
+        return new
+
+    # ------------------------------------------------------------ validation
+    def verify_augmentation(self, edges: Iterable[Edge]) -> bool:
+        """Return ``True`` iff *edges* cover every tree edge (independent re-check)."""
+        covered: set[int] = set()
+        for edge in edges:
+            covered.update(self.path(edge))
+        return len(covered) == len(self._tree_edges)

@@ -1,0 +1,19 @@
+"""Plain helper functions shared by several test modules."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.trees.rooted import RootedTree
+
+
+def random_tree(n: int, seed: int) -> RootedTree:
+    """A random rooted tree on ``n`` vertices (random attachment)."""
+    rng = random.Random(seed)
+    tree = nx.Graph()
+    tree.add_node(0)
+    for node in range(1, n):
+        tree.add_edge(node, rng.randrange(node))
+    return RootedTree(tree, root=0)

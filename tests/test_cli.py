@@ -1,0 +1,93 @@
+"""Tests for the ``kecss`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--family", "nope"])
+
+
+class TestFamiliesCommand:
+    def test_lists_all_families(self, capsys):
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        assert "weighted-sparse" in output
+        assert "torus" in output
+
+
+class TestSolveCommand:
+    def test_solve_2ecss_json(self, capsys):
+        code = main(["solve", "--family", "weighted-sparse", "--n", "14",
+                     "--k", "2", "--seed", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["k"] == 2
+        assert payload["valid"] is True
+        assert payload["weight"] > 0
+        assert payload["rounds"] > 0
+
+    def test_solve_text_output(self, capsys):
+        code = main(["solve", "--family", "unweighted-cycle-chords", "--n", "12",
+                     "--k", "2", "--seed", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "verified      : True" in output
+        assert "total rounds" in output
+
+    def test_solve_unweighted_3ecss_auto_dispatch(self, capsys):
+        code = main(["solve", "--family", "torus", "--n", "9", "--k", "3",
+                     "--seed", "0", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "dory-3ecss"
+        assert payload["valid"] is True
+
+    def test_solve_weighted_kecss_dispatch(self, capsys):
+        code = main(["solve", "--family", "weighted-k3", "--n", "10", "--k", "3",
+                     "--seed", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "dory-kecss"
+        assert payload["valid"] is True
+
+
+class TestVerifyCommand:
+    def test_accepts_the_solvers_own_output(self, capsys):
+        main(["solve", "--family", "weighted-sparse", "--n", "12", "--k", "2",
+              "--seed", "4", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        edges_json = json.dumps(payload["edges"])
+        code = main(["verify", "--family", "weighted-sparse", "--n", "12", "--k", "2",
+                     "--seed", "4", edges_json])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_rejects_a_bogus_edge_list(self, capsys):
+        code = main(["verify", "--family", "weighted-sparse", "--n", "12", "--k", "2",
+                     "--seed", "4", "[[0, 1]]"])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_single_experiment_runs(self, capsys):
+        code = main(["experiment", "--id", "e7"])
+        assert code == 0
+        assert "E7" in capsys.readouterr().out
+
+    def test_markdown_flag(self, capsys):
+        code = main(["experiment", "--id", "e7", "--markdown"])
+        assert code == 0
+        assert "|" in capsys.readouterr().out

@@ -1,0 +1,110 @@
+"""Tests for the CONGEST network simulator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.network import BandwidthExceeded, CongestNetwork, CongestNode, Message
+
+
+class _EchoNode(CongestNode):
+    """Sends one message to every neighbour in round 1, then halts."""
+
+    def on_round(self, round_number, messages):
+        if round_number == 1:
+            self.send_all(("hello", self.node_id))
+        else:
+            self.received = [m.content for m in messages]
+            self.halt()
+
+
+class _ChattyNode(CongestNode):
+    """Violates the bandwidth budget by sending many words over one edge."""
+
+    def on_round(self, round_number, messages):
+        for neighbor in self.neighbors:
+            for _ in range(5):
+                self.send(neighbor, "spam")
+
+
+class _NeverHaltNode(CongestNode):
+    def on_round(self, round_number, messages):
+        pass
+
+
+class TestMessageAndNodeBasics:
+    def test_message_defaults_to_one_word(self):
+        message = Message(src=0, dst=1, content="x")
+        assert message.words == 1
+
+    def test_send_to_non_neighbor_raises(self):
+        network = CongestNetwork(nx.path_graph(3))
+
+        class Bad(CongestNode):
+            def on_round(self, round_number, messages):
+                self.send(2, "oops")  # node 0 is not adjacent to node 2
+
+        with pytest.raises(ValueError):
+            network.run(lambda *args: Bad(*args), max_rounds=3)
+
+    def test_send_with_zero_words_raises(self):
+        node = CongestNode(0, (1,), None)
+        with pytest.raises(ValueError):
+            node.send(1, "x", words=0)
+
+    def test_base_on_round_is_abstract(self):
+        node = CongestNode(0, (), None)
+        with pytest.raises(NotImplementedError):
+            node.on_round(1, [])
+
+
+class TestNetworkExecution:
+    def test_echo_delivers_messages_to_all_neighbours(self):
+        graph = nx.cycle_graph(5)
+        network = CongestNetwork(graph)
+        report = network.run(lambda *args: _EchoNode(*args), max_rounds=5)
+        assert report.rounds == 2
+        assert report.messages == 10  # every vertex messages both neighbours once
+        for node_id, node in network.node_states().items():
+            senders = {content[1] for content in node.received}
+            assert senders == set(graph.neighbors(node_id))
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CongestNetwork(nx.Graph())
+
+    def test_bandwidth_violation_detected(self):
+        network = CongestNetwork(nx.path_graph(2), bandwidth_words=2)
+        with pytest.raises(BandwidthExceeded):
+            network.run(lambda *args: _ChattyNode(*args), max_rounds=2)
+
+    def test_non_terminating_algorithm_raises(self):
+        network = CongestNetwork(nx.path_graph(3))
+        with pytest.raises(RuntimeError):
+            network.run(lambda *args: _NeverHaltNode(*args), max_rounds=4)
+
+    def test_edge_weight_accessor(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=7)
+        graph.add_edge(1, 2)
+        network = CongestNetwork(graph)
+        assert network.edge_weight(0, 1) == 7
+        assert network.edge_weight(1, 2) == 1
+
+    def test_last_report_is_stored(self):
+        graph = nx.cycle_graph(4)
+        network = CongestNetwork(graph)
+        assert network.last_report is None
+        report = network.run(lambda *args: _EchoNode(*args), max_rounds=5)
+        assert network.last_report is report
+
+    def test_diameter_helper(self):
+        network = CongestNetwork(nx.path_graph(5))
+        assert network.diameter() == 4
+
+    def test_max_congestion_reported(self):
+        graph = nx.cycle_graph(4)
+        network = CongestNetwork(graph)
+        report = network.run(lambda *args: _EchoNode(*args), max_rounds=5)
+        assert report.max_congestion == 1

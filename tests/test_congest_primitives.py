@@ -1,0 +1,128 @@
+"""Tests for the simulated CONGEST primitives (BFS, broadcast, convergecast, ...)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.primitives import (
+    simulate_bfs_tree,
+    simulate_broadcast,
+    simulate_convergecast_max,
+    simulate_convergecast_sum,
+    simulate_leader_election,
+    simulate_pipelined_upcast,
+)
+from repro.graphs.generators import cycle_with_chords, random_k_edge_connected_graph
+
+
+class TestBfsTree:
+    def test_depths_equal_graph_distances(self):
+        graph = cycle_with_chords(14, extra_edges=3, seed=0)
+        tree, report = simulate_bfs_tree(graph, root=0)
+        for node in graph.nodes():
+            assert tree.depth(node) == nx.shortest_path_length(graph, 0, node)
+        assert report.rounds <= nx.eccentricity(graph, 0) + 2
+
+    def test_rounds_scale_with_eccentricity_not_n(self):
+        graph = nx.path_graph(30)
+        graph.add_edge(0, 29)  # a cycle: eccentricity 15 from node 0
+        tree, report = simulate_bfs_tree(graph, root=0)
+        assert report.rounds <= 17
+        assert tree.number_of_nodes() == 30
+
+    def test_default_root_is_min_id(self):
+        graph = nx.cycle_graph(6)
+        tree, _ = simulate_bfs_tree(graph)
+        assert tree.root == 0
+
+    def test_messages_bounded_by_two_per_directed_edge(self):
+        graph = random_k_edge_connected_graph(20, 2, extra_edge_prob=0.2, seed=1)
+        _, report = simulate_bfs_tree(graph)
+        assert report.messages <= 2 * graph.number_of_edges()
+        assert report.max_congestion <= 1
+
+
+class TestBroadcast:
+    def test_all_vertices_receive_all_items_in_order(self):
+        graph = cycle_with_chords(12, extra_edges=2, seed=1)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        items = ["a", "b", "c", "d"]
+        received, report = simulate_broadcast(graph, tree, items)
+        for node, values in received.items():
+            assert values == items
+        assert report.rounds <= tree.height() + len(items) + 3
+
+    def test_pipelining_round_bound(self):
+        # Broadcasting l items over a path of depth d takes ~d + l rounds, not d * l.
+        graph = nx.path_graph(12)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        items = list(range(8))
+        _, report = simulate_broadcast(graph, tree, items)
+        assert report.rounds <= tree.height() + len(items) + 3
+        assert report.rounds < tree.height() * len(items)
+
+    def test_empty_item_list(self):
+        graph = nx.cycle_graph(5)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        received, _ = simulate_broadcast(graph, tree, [])
+        assert all(values == [] for values in received.values())
+
+
+class TestConvergecast:
+    def test_max_and_sum(self):
+        graph = cycle_with_chords(10, extra_edges=2, seed=2)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        values = {node: node * 3 for node in graph.nodes()}
+        maximum, _ = simulate_convergecast_max(graph, tree, values)
+        total, _ = simulate_convergecast_sum(graph, tree, values)
+        assert maximum == max(values.values())
+        assert total == sum(values.values())
+
+    def test_rounds_bounded_by_height(self):
+        graph = nx.path_graph(16)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        _, report = simulate_convergecast_sum(graph, tree, {node: 1 for node in graph})
+        assert report.rounds <= tree.height() + 2
+
+    def test_missing_values_default_to_zero(self):
+        graph = nx.cycle_graph(6)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        total, _ = simulate_convergecast_sum(graph, tree, {0: 5})
+        assert total == 5
+
+
+class TestLeaderElection:
+    def test_elects_minimum_id(self):
+        graph = cycle_with_chords(9, extra_edges=2, seed=3)
+        leader, _ = simulate_leader_election(graph)
+        assert leader == 0
+
+    def test_works_with_relabelled_nodes(self):
+        graph = nx.relabel_nodes(nx.cycle_graph(6), {i: i + 10 for i in range(6)})
+        leader, _ = simulate_leader_election(graph)
+        assert leader == 10
+
+    def test_insufficient_round_bound_raises(self):
+        graph = nx.path_graph(12)
+        with pytest.raises(RuntimeError):
+            simulate_leader_election(graph, rounds_bound=2)
+
+
+class TestPipelinedUpcast:
+    def test_all_items_reach_the_root(self):
+        graph = cycle_with_chords(10, extra_edges=2, seed=4)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        items = {node: [f"item-{node}-{i}" for i in range(2)] for node in graph.nodes()}
+        collected, report = simulate_pipelined_upcast(graph, tree, items)
+        expected = {value for values in items.values() for value in values}
+        assert set(collected) >= expected
+        assert report.rounds <= tree.height() + 2 * graph.number_of_nodes() + 3
+
+    def test_pipelining_beats_sequential_upcast(self):
+        graph = nx.path_graph(10)
+        tree, _ = simulate_bfs_tree(graph, root=0)
+        items = {node: [f"x{node}"] for node in graph.nodes()}
+        _, report = simulate_pipelined_upcast(graph, tree, items)
+        # Sequential upcast would need ~height * items rounds; pipelining needs height + items.
+        assert report.rounds <= tree.height() + len(items) + 3

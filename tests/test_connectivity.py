@@ -1,0 +1,142 @@
+"""Tests for connectivity queries and subgraph verification."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.connectivity import (
+    bridges,
+    canonical_edge,
+    edge_connectivity,
+    edge_set,
+    is_k_edge_connected,
+    subgraph_weight,
+    verify_spanning_subgraph,
+)
+
+
+class TestCanonicalEdge:
+    def test_sorts_comparable_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_handles_incomparable_endpoints(self):
+        edge = canonical_edge("a", 1)
+        assert set(edge) == {"a", 1}
+        assert canonical_edge(1, "a") == edge
+
+    def test_edge_set_from_graph(self):
+        graph = nx.path_graph(4)
+        assert edge_set(graph) == frozenset({(0, 1), (1, 2), (2, 3)})
+
+    def test_edge_set_from_iterable(self):
+        assert edge_set([(2, 1), (1, 2)]) == frozenset({(1, 2)})
+
+
+class TestEdgeConnectivity:
+    def test_cycle_is_two(self):
+        assert edge_connectivity(nx.cycle_graph(6)) == 2
+
+    def test_path_is_one(self):
+        assert edge_connectivity(nx.path_graph(5)) == 1
+
+    def test_complete_graph(self):
+        assert edge_connectivity(nx.complete_graph(5)) == 4
+
+    def test_disconnected_is_zero(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        assert edge_connectivity(graph) == 0
+
+    def test_single_vertex_is_zero(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert edge_connectivity(graph) == 0
+
+
+class TestIsKEdgeConnected:
+    def test_k_zero_always_true(self):
+        assert is_k_edge_connected(nx.empty_graph(3), 0)
+
+    def test_cycle(self):
+        cycle = nx.cycle_graph(8)
+        assert is_k_edge_connected(cycle, 1)
+        assert is_k_edge_connected(cycle, 2)
+        assert not is_k_edge_connected(cycle, 3)
+
+    def test_degree_shortcut(self):
+        # A graph with a degree-1 vertex can never be 2-edge-connected.
+        graph = nx.cycle_graph(5)
+        graph.add_edge(0, 99)
+        assert not is_k_edge_connected(graph, 2)
+
+    def test_single_vertex(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        assert not is_k_edge_connected(graph, 1)
+
+
+class TestBridges:
+    def test_cycle_has_no_bridges(self):
+        assert bridges(nx.cycle_graph(5)) == set()
+
+    def test_path_every_edge_is_a_bridge(self):
+        assert bridges(nx.path_graph(4)) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_empty_graph(self):
+        assert bridges(nx.empty_graph(3)) == set()
+
+    def test_barbell(self):
+        graph = nx.barbell_graph(4, 0)
+        assert bridges(graph) == {(3, 4)}
+
+
+class TestSubgraphWeight:
+    def test_sums_weights(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, weight=3)
+        graph.add_edge(1, 2, weight=4)
+        assert subgraph_weight(graph, [(0, 1), (1, 2)]) == 7
+
+    def test_missing_weight_defaults_to_one(self):
+        graph = nx.path_graph(3)
+        assert subgraph_weight(graph, [(0, 1)]) == 1
+
+    def test_unknown_edge_raises(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(KeyError):
+            subgraph_weight(graph, [(0, 2)])
+
+
+class TestVerifySpanningSubgraph:
+    def test_accepts_the_graph_itself(self, small_weighted_graph):
+        ok, reason = verify_spanning_subgraph(
+            small_weighted_graph, small_weighted_graph.edges(), 2
+        )
+        assert ok and reason == ""
+
+    def test_rejects_foreign_edges(self):
+        graph = nx.cycle_graph(5)
+        ok, reason = verify_spanning_subgraph(graph, [(0, 1), (0, 3)], 1)
+        assert not ok
+        assert "not edges" in reason
+
+    def test_rejects_disconnected_selection(self):
+        graph = nx.cycle_graph(6)
+        ok, reason = verify_spanning_subgraph(graph, [(0, 1), (3, 4)], 1)
+        assert not ok
+        assert "not connected" in reason
+
+    def test_rejects_insufficient_connectivity(self):
+        graph = nx.complete_graph(5)
+        spanning_tree = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        ok, reason = verify_spanning_subgraph(graph, spanning_tree, 2)
+        assert not ok
+        assert "edge connectivity" in reason
+
+    def test_accepts_cycle_for_k2(self):
+        graph = nx.complete_graph(5)
+        cycle = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]
+        ok, _ = verify_spanning_subgraph(graph, cycle, 2)
+        assert ok

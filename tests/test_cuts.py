@@ -1,0 +1,161 @@
+"""Tests for the cut enumeration machinery."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.cuts import (
+    Cut,
+    cut_is_covered,
+    edge_covers_cut,
+    enumerate_bridge_cuts,
+    enumerate_cut_pairs,
+    enumerate_cuts_exhaustive,
+    enumerate_cuts_of_size,
+    enumerate_min_cuts_contraction,
+)
+from repro.graphs.generators import cycle_with_chords, harary_graph
+
+
+class TestCutObject:
+    def test_from_side_computes_crossing_edges(self):
+        graph = nx.cycle_graph(6)
+        cut = Cut.from_side(graph, {0, 1, 2})
+        assert cut.size == 2
+        assert cut.edges == frozenset({(0, 5), (2, 3)})
+
+    def test_canonical_side_makes_equal_cuts_equal(self):
+        graph = nx.cycle_graph(6)
+        a = Cut.from_side(graph, {0, 1})
+        b = Cut.from_side(graph, {2, 3, 4, 5})
+        assert a == b
+        assert a.side == b.side
+
+    def test_rejects_trivial_sides(self):
+        graph = nx.cycle_graph(4)
+        with pytest.raises(ValueError):
+            Cut.from_side(graph, set())
+        with pytest.raises(ValueError):
+            Cut.from_side(graph, set(graph.nodes()))
+
+    def test_edge_covers_cut(self):
+        graph = nx.cycle_graph(6)
+        cut = Cut.from_side(graph, {0, 1, 2})
+        assert edge_covers_cut((0, 3), cut)
+        assert edge_covers_cut((2, 5), cut)
+        assert not edge_covers_cut((0, 2), cut)
+
+    def test_cut_is_covered(self):
+        graph = nx.cycle_graph(6)
+        cut = Cut.from_side(graph, {0, 1, 2})
+        assert cut_is_covered(cut, [(0, 2), (1, 4)])
+        assert not cut_is_covered(cut, [(0, 1), (3, 5)])
+
+
+class TestBridgeCuts:
+    def test_path_graph(self):
+        graph = nx.path_graph(5)
+        cuts = enumerate_bridge_cuts(graph)
+        assert len(cuts) == 4
+        assert all(cut.size == 1 for cut in cuts)
+
+    def test_cycle_has_none(self):
+        assert enumerate_bridge_cuts(nx.cycle_graph(5)) == []
+
+    def test_barbell_single_bridge(self):
+        graph = nx.barbell_graph(4, 0)
+        cuts = enumerate_bridge_cuts(graph)
+        assert len(cuts) == 1
+        assert cuts[0].edges == frozenset({(3, 4)})
+        assert cuts[0].side in (frozenset({0, 1, 2, 3}), frozenset({4, 5, 6, 7}))
+
+
+class TestCutPairs:
+    def test_cycle_every_pair_is_a_cut_pair(self):
+        graph = nx.cycle_graph(5)
+        cuts = enumerate_cut_pairs(graph)
+        # Every pair of cycle edges disconnects a cycle: C(5, 2) = 10 cuts.
+        assert len(cuts) == 10
+
+    def test_matches_exhaustive_enumeration(self):
+        graph = cycle_with_chords(9, extra_edges=3, seed=2)
+        expected = {cut.side for cut in enumerate_cuts_exhaustive(graph, 2)}
+        actual = {cut.side for cut in enumerate_cut_pairs(graph)}
+        assert actual == expected
+
+    def test_three_connected_graph_has_no_cut_pairs(self):
+        graph = harary_graph(10, 3)
+        assert enumerate_cut_pairs(graph) == []
+
+    def test_requires_connected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            enumerate_cut_pairs(graph)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_property_every_reported_pair_disconnects(self, seed):
+        graph = cycle_with_chords(10, extra_edges=3, seed=seed)
+        for cut in enumerate_cut_pairs(graph):
+            pruned = graph.copy()
+            pruned.remove_edges_from(cut.edges)
+            assert not nx.is_connected(pruned)
+            assert cut.size == 2
+
+
+class TestContractionEnumeration:
+    def test_matches_exhaustive_on_small_graph(self):
+        graph = harary_graph(9, 3)
+        expected = {cut.side for cut in enumerate_cuts_exhaustive(graph, 3)}
+        actual = {
+            cut.side
+            for cut in enumerate_min_cuts_contraction(graph, 3, seed=0, runs=4000)
+        }
+        assert actual == expected
+
+    def test_every_cut_is_verified(self):
+        graph = harary_graph(12, 4)
+        for cut in enumerate_min_cuts_contraction(graph, 4, seed=1, runs=500):
+            assert cut.size == 4
+            pruned = graph.copy()
+            pruned.remove_edges_from(cut.edges)
+            assert nx.number_connected_components(pruned) == 2
+
+
+class TestEnumerateCutsOfSize:
+    def test_dispatch_size_one(self):
+        graph = nx.path_graph(4)
+        cuts = enumerate_cuts_of_size(graph, 1)
+        assert len(cuts) == 3
+
+    def test_dispatch_size_two(self):
+        graph = nx.cycle_graph(6)
+        cuts = enumerate_cuts_of_size(graph, 2)
+        assert len(cuts) == 15
+
+    def test_higher_connectivity_returns_empty(self):
+        graph = harary_graph(8, 3)
+        assert enumerate_cuts_of_size(graph, 2) == []
+
+    def test_lower_connectivity_raises(self):
+        graph = nx.path_graph(5)
+        with pytest.raises(ValueError):
+            enumerate_cuts_of_size(graph, 2)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            enumerate_cuts_of_size(nx.cycle_graph(4), 0)
+
+    def test_exhaustive_rejects_large_graphs(self):
+        with pytest.raises(ValueError):
+            enumerate_cuts_exhaustive(nx.cycle_graph(25), 2)
+
+    def test_dinitz_karzanov_lomonosov_bound(self):
+        # At most n choose 2 minimum cuts (footnote 4 of the paper).
+        graph = cycle_with_chords(12, extra_edges=4, seed=1)
+        cuts = enumerate_cuts_of_size(graph, 2)
+        n = graph.number_of_nodes()
+        assert len(cuts) <= n * (n - 1) // 2

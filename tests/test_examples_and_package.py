@@ -1,0 +1,66 @@
+"""Smoke tests: the example scripts run end-to-end and the package exports are sane."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_solvers_are_importable_from_the_top_level(self):
+        assert callable(repro.two_ecss)
+        assert callable(repro.k_ecss)
+        assert callable(repro.three_ecss)
+        assert callable(repro.weighted_tap)
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "congest_primitives_tour.py",
+            "datacenter_upgrade.py",
+            "fault_tolerant_backbone.py",
+        ],
+    )
+    def test_example_runs_to_completion(self, script, capsys):
+        module = _load_example(script)
+        module.main()
+        output = capsys.readouterr().out
+        assert output.strip(), f"{script} produced no output"
+
+    def test_quickstart_reports_a_verified_solution(self, capsys):
+        module = _load_example("quickstart.py")
+        module.main()
+        output = capsys.readouterr().out
+        assert "2-edge-connected spanning subgraph found: True" in output
+
+    def test_fault_tolerance_example_shows_the_expected_ordering(self, capsys):
+        module = _load_example("fault_tolerant_backbone.py")
+        module.main()
+        output = capsys.readouterr().out
+        # The MST row reports 0% single-failure survival; the 2-ECSS row 100%.
+        assert "MST" in output and "2-ECSS" in output and "3-ECSS" in output
+        assert "100%" in output and "0%" in output

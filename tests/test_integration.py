@@ -1,0 +1,92 @@
+"""Cross-module integration tests: full pipelines and cross-algorithm consistency."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.exact import exact_k_ecss_weight
+from repro.baselines.khuller_vishkin import dfs_unweighted_two_ecss
+from repro.baselines.thurimella import sparse_certificate_k_ecss
+from repro.core.k_ecss import k_ecss
+from repro.core.three_ecss import three_ecss
+from repro.core.two_ecss import two_ecss
+from repro.graphs.generators import FAMILIES, make_family
+from repro.graphs.connectivity import subgraph_weight
+
+
+class TestFamiliesEndToEnd:
+    @pytest.mark.parametrize("name", ["weighted-sparse", "weighted-dense",
+                                      "unweighted-cycle-chords", "clique-chain"])
+    def test_two_ecss_on_every_2_connected_family(self, name):
+        graph = make_family(name)(20, seed=1)
+        result = two_ecss(graph, seed=1, simulate_bfs=False)
+        ok, reason = result.verify()
+        assert ok, reason
+        assert result.weight == subgraph_weight(graph, result.edges)
+
+    def test_three_ecss_on_the_torus_family(self):
+        graph = make_family("torus")(16, seed=0)
+        result = three_ecss(graph, seed=0)
+        ok, reason = result.verify()
+        assert ok, reason
+
+    def test_k_ecss_on_the_weighted_k3_family(self):
+        graph = make_family("weighted-k3")(12, seed=2)
+        result = k_ecss(graph, 3, seed=2)
+        ok, reason = result.verify()
+        assert ok, reason
+
+
+class TestCrossAlgorithmConsistency:
+    def test_two_ecss_and_k_ecss_k2_are_both_log_n_approximations(self):
+        graph = make_family("weighted-sparse")(16, seed=3)
+        direct = two_ecss(graph, seed=3, simulate_bfs=False)
+        generic = k_ecss(graph, 2, seed=3)
+        optimum = exact_k_ecss_weight(graph, 2)
+        bound = (1 + 2 * math.log2(graph.number_of_nodes())) * optimum
+        assert direct.weight <= bound
+        assert generic.weight <= bound
+
+    def test_specialised_2ecss_uses_fewer_rounds_than_generic_k_ecss(self):
+        # The headline of Theorem 1.1: 2-ECSS is sublinear, while the generic
+        # algorithm of Theorem 1.2 pays an additive O(n).
+        graph = make_family("clique-chain")(40, seed=4)
+        direct = two_ecss(graph, seed=4, simulate_bfs=False)
+        generic = k_ecss(graph, 2, seed=4)
+        assert direct.verify()[0] and generic.verify()[0]
+        assert direct.rounds < generic.rounds
+
+    def test_three_ecss_size_is_comparable_to_sparse_certificates(self):
+        graph = make_family("torus")(25, seed=5)
+        distributed = three_ecss(graph, seed=5)
+        certificate = sparse_certificate_k_ecss(graph, 3)
+        n = graph.number_of_nodes()
+        assert distributed.num_edges <= math.ceil(2 * math.log2(n)) * max(
+            certificate.size, 3 * n // 2
+        )
+
+    def test_unweighted_two_ecss_baselines_agree_on_feasibility(self):
+        graph = make_family("unweighted-cycle-chords")(18, seed=6)
+        distributed = two_ecss(graph, seed=6, simulate_bfs=False)
+        dfs_based = dfs_unweighted_two_ecss(graph)
+        assert distributed.verify()[0]
+        # Both are within a factor 2 log n of each other in size.
+        ratio = len(distributed.edges) / len(dfs_based.edges)
+        assert 0.3 <= ratio <= 2 * math.log2(graph.number_of_nodes())
+
+
+class TestLedgerComposition:
+    def test_total_rounds_equal_sum_of_entries(self):
+        graph = make_family("weighted-sparse")(18, seed=7)
+        result = two_ecss(graph, seed=7, simulate_bfs=False)
+        assert result.rounds == sum(entry.rounds for entry in result.ledger)
+        assert result.rounds == result.ledger.simulated_rounds + result.ledger.modelled_rounds
+
+    def test_every_family_is_registered_with_a_buildable_description(self):
+        for name, family in FAMILIES.items():
+            assert family.name == name
+            assert family.description
+            graph = family(12, seed=0)
+            assert graph.number_of_nodes() >= 8

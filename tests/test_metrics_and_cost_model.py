@@ -1,0 +1,116 @@
+"""Tests for the round ledger and the analytic cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest.cost_model import CostModel
+from repro.congest.metrics import LedgerEntry, RoundLedger, RoundReport
+
+
+class TestRoundReport:
+    def test_as_entry_is_simulated(self):
+        report = RoundReport(label="bfs", rounds=7, messages=30, max_congestion=1)
+        entry = report.as_entry()
+        assert entry.kind == "simulated"
+        assert entry.rounds == 7
+        assert entry.messages == 30
+
+
+class TestRoundLedger:
+    def test_totals_split_by_kind(self):
+        ledger = RoundLedger()
+        ledger.add("phase-a", 10, kind="modelled")
+        ledger.add("phase-b", 5, kind="simulated")
+        ledger.add("phase-a", 3, kind="modelled")
+        assert ledger.total_rounds == 18
+        assert ledger.modelled_rounds == 13
+        assert ledger.simulated_rounds == 5
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            RoundLedger().add("bad", -1)
+
+    def test_by_label_and_count(self):
+        ledger = RoundLedger()
+        ledger.add("iteration", 4)
+        ledger.add("iteration", 4)
+        ledger.add("setup", 2)
+        assert ledger.by_label() == {"iteration": 8, "setup": 2}
+        assert ledger.count("iteration") == 2
+        assert len(ledger) == 3
+
+    def test_extend_and_merge(self):
+        a = RoundLedger()
+        a.add("x", 1)
+        b = RoundLedger()
+        b.add("y", 2)
+        a.extend(b)
+        assert a.total_rounds == 3
+        merged = RoundLedger.merge([a, b])
+        assert merged.total_rounds == 5
+
+    def test_add_report_and_messages(self):
+        ledger = RoundLedger()
+        ledger.add_report(RoundReport(label="bfs", rounds=3, messages=12, max_congestion=1))
+        assert ledger.simulated_rounds == 3
+        assert ledger.total_messages == 12
+
+    def test_summary_mentions_all_labels(self):
+        ledger = RoundLedger()
+        ledger.add("alpha", 2)
+        ledger.add("beta", 9)
+        text = ledger.summary()
+        assert "alpha" in text and "beta" in text
+        assert "total rounds" in text
+
+    def test_iteration_protocol(self):
+        ledger = RoundLedger()
+        ledger.add("x", 1)
+        entries = list(ledger)
+        assert len(entries) == 1
+        assert isinstance(entries[0], LedgerEntry)
+
+
+class TestCostModel:
+    def test_basic_quantities(self):
+        model = CostModel(n=100, diameter=8)
+        assert model.sqrt_n == 10
+        assert model.log_n == 7
+        assert model.log_star_n >= 1
+
+    def test_bfs_and_broadcast(self):
+        model = CostModel(n=64, diameter=5)
+        assert model.bfs_rounds() == 5
+        assert model.broadcast_rounds(10) == 15
+
+    def test_mst_rounds_scale_with_diameter_and_sqrt_n(self):
+        small = CostModel(n=16, diameter=4)
+        large = CostModel(n=256, diameter=4)
+        assert large.mst_rounds() > small.mst_rounds()
+        far = CostModel(n=16, diameter=40)
+        assert far.mst_rounds() > small.mst_rounds()
+
+    def test_tap_iteration_uses_segment_diameter(self):
+        model = CostModel(n=100, diameter=6)
+        assert model.tap_iteration_rounds(20) > model.tap_iteration_rounds(5)
+
+    def test_aug_iteration_scales_with_added_edges(self):
+        model = CostModel(n=100, diameter=6)
+        assert model.aug_iteration_rounds(50) == model.aug_iteration_rounds(0) + 50
+
+    def test_three_ecss_iteration_depends_only_on_diameter(self):
+        small = CostModel(n=50, diameter=7)
+        large = CostModel(n=5000, diameter=7)
+        assert small.three_ecss_iteration_rounds() == large.three_ecss_iteration_rounds()
+
+    def test_round_bounds_are_positive_and_monotone_in_n(self):
+        small = CostModel(n=32, diameter=5)
+        large = CostModel(n=512, diameter=5)
+        assert 0 < small.tap_round_bound() < large.tap_round_bound()
+        assert 0 < small.k_ecss_round_bound(2) < large.k_ecss_round_bound(2)
+        assert small.k_ecss_round_bound(2) < small.k_ecss_round_bound(4)
+        assert 0 < small.three_ecss_round_bound()
+
+    def test_log_star_is_tiny(self):
+        assert CostModel(n=10 ** 6, diameter=10).log_star_n <= 6

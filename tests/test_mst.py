@@ -1,0 +1,157 @@
+"""Tests for the MST algorithms, fragments and the distributed wrapper."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import random_k_edge_connected_graph
+from repro.mst.distributed import build_mst_with_fragments
+from repro.mst.fragments import decompose_tree_into_fragments
+from repro.mst.sequential import minimum_spanning_tree, mst_weight, prim_mst
+from repro.trees.rooted import RootedTree
+
+from _helpers import random_tree
+
+
+class TestSequentialMst:
+    def test_matches_networkx_weight(self, small_weighted_graph):
+        ours = minimum_spanning_tree(small_weighted_graph)
+        reference = nx.minimum_spanning_tree(small_weighted_graph)
+        assert ours.size(weight="weight") == reference.size(weight="weight")
+
+    def test_prim_matches_kruskal_weight(self, small_weighted_graph):
+        kruskal = minimum_spanning_tree(small_weighted_graph)
+        prim = prim_mst(small_weighted_graph)
+        assert kruskal.size(weight="weight") == prim.size(weight="weight")
+
+    def test_result_is_a_spanning_tree(self, medium_weighted_graph):
+        tree = minimum_spanning_tree(medium_weighted_graph)
+        assert tree.number_of_nodes() == medium_weighted_graph.number_of_nodes()
+        assert tree.number_of_edges() == tree.number_of_nodes() - 1
+        assert nx.is_connected(tree)
+
+    def test_deterministic_under_ties(self):
+        graph = nx.cycle_graph(6)
+        for _, _, data in graph.edges(data=True):
+            data["weight"] = 1
+        first = set(minimum_spanning_tree(graph).edges())
+        second = set(minimum_spanning_tree(graph).edges())
+        assert first == second
+
+    def test_mst_weight_helper(self, small_weighted_graph):
+        assert mst_weight(small_weighted_graph) == int(
+            nx.minimum_spanning_tree(small_weighted_graph).size(weight="weight")
+        )
+
+    def test_rejects_disconnected_or_empty(self):
+        disconnected = nx.Graph()
+        disconnected.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            minimum_spanning_tree(disconnected)
+        with pytest.raises(ValueError):
+            minimum_spanning_tree(nx.Graph())
+        with pytest.raises(ValueError):
+            prim_mst(disconnected)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_property_kruskal_equals_prim(self, seed):
+        graph = random_k_edge_connected_graph(12, 2, extra_edge_prob=0.3, seed=seed)
+        assert minimum_spanning_tree(graph).size(weight="weight") == prim_mst(graph).size(
+            weight="weight"
+        )
+
+
+class TestFragmentDecomposition:
+    def _decompose(self, n, seed, cap=None):
+        tree = random_tree(n, seed)
+        return tree, decompose_tree_into_fragments(tree, cap=cap)
+
+    def test_fragments_partition_the_vertices(self):
+        tree, decomposition = self._decompose(60, 1)
+        seen = set()
+        for fragment in decomposition.fragments:
+            assert not (fragment.vertices & seen)
+            seen.update(fragment.vertices)
+        assert seen == set(tree.nodes())
+
+    def test_fragment_count_bound(self):
+        for seed in range(4):
+            tree, decomposition = self._decompose(100, seed)
+            cap = decomposition.cap
+            assert len(decomposition.fragments) <= 100 // cap + 1
+
+    def test_fragment_diameter_bound(self):
+        tree, decomposition = self._decompose(100, 2)
+        cap = decomposition.cap
+        assert decomposition.max_fragment_diameter() <= 2 * cap
+
+    def test_fragments_are_connected_subtrees(self):
+        tree, decomposition = self._decompose(50, 3)
+        for fragment in decomposition.fragments:
+            induced = tree.graph.subgraph(fragment.vertices)
+            assert nx.is_connected(induced)
+
+    def test_fragment_root_is_an_ancestor_of_all_members(self):
+        tree, decomposition = self._decompose(40, 4)
+        for fragment in decomposition.fragments:
+            for vertex in fragment.vertices:
+                assert tree.is_ancestor(fragment.root, vertex)
+
+    def test_global_edges_connect_different_fragments(self):
+        tree, decomposition = self._decompose(64, 5)
+        for u, v in decomposition.global_edges():
+            assert decomposition.fragment_of[u] != decomposition.fragment_of[v]
+
+    def test_global_edge_count_is_fragment_count_minus_one(self):
+        tree, decomposition = self._decompose(64, 6)
+        assert len(decomposition.global_edges()) == len(decomposition.fragments) - 1
+
+    def test_cap_one_gives_singleton_fragments(self):
+        tree, decomposition = self._decompose(10, 7, cap=1)
+        assert len(decomposition.fragments) == 10
+
+    def test_invalid_cap(self):
+        tree = random_tree(5, 0)
+        with pytest.raises(ValueError):
+            decompose_tree_into_fragments(tree, cap=0)
+
+    @given(n=st.integers(2, 80), seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_count_and_diameter(self, n, seed):
+        tree = random_tree(n, seed)
+        decomposition = decompose_tree_into_fragments(tree)
+        cap = decomposition.cap
+        assert len(decomposition.fragments) <= n // cap + 1
+        assert decomposition.max_fragment_diameter() <= 2 * cap
+        assert set(decomposition.fragment_of) == set(tree.nodes())
+
+
+class TestBuildMstWithFragments:
+    def test_returns_consistent_structures(self, small_weighted_graph):
+        result = build_mst_with_fragments(small_weighted_graph)
+        assert isinstance(result.mst, RootedTree)
+        assert result.mst.number_of_nodes() == small_weighted_graph.number_of_nodes()
+        assert result.diameter == nx.diameter(small_weighted_graph)
+        assert result.ledger.total_rounds > 0
+        # The simulated BFS entry is present by default.
+        assert result.ledger.simulated_rounds > 0
+
+    def test_fragment_cap_defaults_to_sqrt_n(self, medium_weighted_graph):
+        result = build_mst_with_fragments(medium_weighted_graph, simulate_bfs=False)
+        assert result.fragments.cap == math.isqrt(medium_weighted_graph.number_of_nodes())
+
+    def test_modelled_bfs_when_simulation_disabled(self, small_weighted_graph):
+        result = build_mst_with_fragments(small_weighted_graph, simulate_bfs=False)
+        assert result.ledger.simulated_rounds == 0
+        assert result.ledger.modelled_rounds > 0
+
+    def test_rejects_disconnected_graph(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            build_mst_with_fragments(graph)

@@ -1,0 +1,76 @@
+"""Tests for the ECSSResult container."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.congest.metrics import RoundLedger
+from repro.core.result import ECSSResult
+from repro.graphs.generators import harary_graph
+
+
+def _make_result(k=2):
+    graph = harary_graph(8, 2)
+    ledger = RoundLedger()
+    ledger.add("phase", 12)
+    return ECSSResult.from_edges(
+        k=k,
+        graph=graph,
+        edges=graph.edges(),
+        ledger=ledger,
+        iterations=3,
+        algorithm="test",
+        metadata={"note": "all edges"},
+    ), graph
+
+
+class TestECSSResult:
+    def test_from_edges_canonicalises_and_weighs(self):
+        result, graph = _make_result()
+        assert result.num_edges == graph.number_of_edges()
+        assert result.weight == graph.number_of_edges()  # unit weights
+        assert result.rounds == 12
+
+    def test_verify_pass_and_fail(self):
+        result, graph = _make_result()
+        ok, reason = result.verify()
+        assert ok and reason == ""
+        too_much = ECSSResult.from_edges(
+            k=5, graph=graph, edges=graph.edges(), ledger=RoundLedger(),
+            iterations=0, algorithm="test",
+        )
+        ok, reason = too_much.verify()
+        assert not ok
+        assert "edge connectivity" in reason
+
+    def test_subgraph_materialisation(self):
+        result, graph = _make_result()
+        subgraph = result.subgraph()
+        assert isinstance(subgraph, nx.Graph)
+        assert set(subgraph.nodes()) == set(graph.nodes())
+        assert subgraph.number_of_edges() == result.num_edges
+        for u, v in subgraph.edges():
+            assert subgraph[u][v]["weight"] == graph[u][v]["weight"]
+
+    def test_approximation_ratio(self):
+        result, _ = _make_result()
+        assert result.approximation_ratio(result.weight) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            result.approximation_ratio(0)
+
+    def test_metadata_defaults_to_empty_dict(self):
+        graph = harary_graph(6, 2)
+        result = ECSSResult.from_edges(
+            k=2, graph=graph, edges=graph.edges(), ledger=RoundLedger(),
+            iterations=0, algorithm="x",
+        )
+        assert result.metadata == {}
+
+    def test_foreign_edges_rejected_at_construction(self):
+        graph = harary_graph(6, 2)
+        with pytest.raises(KeyError):
+            ECSSResult.from_edges(
+                k=2, graph=graph, edges=[(0, 3)] if not graph.has_edge(0, 3) else [(0, 99)],
+                ledger=RoundLedger(), iterations=0, algorithm="x",
+            )

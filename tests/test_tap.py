@@ -1,0 +1,209 @@
+"""Tests for coverage bookkeeping and the TAP algorithms (Section 3)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import exact_tap
+from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
+from repro.graphs.generators import cycle_with_chords, random_k_edge_connected_graph
+from repro.mst.sequential import minimum_spanning_tree
+from repro.tap.cover import CoverageState
+from repro.tap.distributed import distributed_tap
+from repro.tap.greedy import greedy_tap
+from repro.trees.rooted import RootedTree
+
+
+def _mst_instance(n: int, seed: int, prob: float = 0.3):
+    graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=prob, seed=seed)
+    tree = RootedTree(minimum_spanning_tree(graph), root=min(graph.nodes()))
+    return graph, tree
+
+
+class TestCoverageState:
+    def test_partitions_tree_and_non_tree_edges(self):
+        graph, tree = _mst_instance(14, 0)
+        state = CoverageState(graph, tree)
+        tree_edges = set(state.tree_edges)
+        non_tree = set(state.non_tree_edges)
+        assert tree_edges | non_tree == {canonical_edge(u, v) for u, v in graph.edges()}
+        assert not (tree_edges & non_tree)
+
+    def test_paths_match_lca_paths(self):
+        graph, tree = _mst_instance(12, 1)
+        state = CoverageState(graph, tree)
+        for edge in state.non_tree_edges:
+            path_edges = {state.tree_edge_by_index(i) for i in state.path(edge)}
+            u, v = edge
+            assert len(path_edges) == nx.shortest_path_length(tree.graph, u, v)
+
+    def test_cover_with_updates_counts(self):
+        graph, tree = _mst_instance(12, 2)
+        state = CoverageState(graph, tree)
+        edge = state.non_tree_edges[0]
+        before = state.uncovered_count(edge)
+        newly = state.cover_with(edge)
+        assert len(newly) == before
+        assert state.uncovered_count(edge) == 0
+        for index in newly:
+            assert state.is_covered(state.tree_edge_by_index(index))
+
+    def test_all_covered_and_verify(self):
+        graph, tree = _mst_instance(12, 3)
+        state = CoverageState(graph, tree)
+        assert not state.all_covered()
+        state.cover_with_many(state.non_tree_edges)
+        assert state.all_covered()
+        assert CoverageState(graph, tree).verify_augmentation(state.non_tree_edges)
+
+    def test_weight_lookup(self):
+        graph, tree = _mst_instance(10, 4)
+        state = CoverageState(graph, tree)
+        for edge in state.non_tree_edges:
+            assert state.weight(edge) == graph[edge[0]][edge[1]]["weight"]
+
+    def test_uncovered_indices_shrink(self):
+        graph, tree = _mst_instance(12, 5)
+        state = CoverageState(graph, tree)
+        total = len(state.tree_edges)
+        assert len(state.uncovered_indices()) == total
+        state.cover_with(state.non_tree_edges[0])
+        assert len(state.uncovered_indices()) < total
+
+
+class TestDistributedTap:
+    def test_augmentation_makes_tree_2_edge_connected(self):
+        for seed in range(4):
+            graph, tree = _mst_instance(18, seed)
+            result = distributed_tap(graph, tree, seed=seed)
+            augmented = nx.Graph()
+            augmented.add_nodes_from(graph.nodes())
+            augmented.add_edges_from(tree.tree_edges())
+            augmented.add_edges_from(result.augmentation)
+            assert is_k_edge_connected(augmented, 2)
+
+    def test_weight_is_sum_of_augmentation_weights(self):
+        graph, tree = _mst_instance(14, 9)
+        result = distributed_tap(graph, tree, seed=9)
+        assert result.weight == sum(
+            graph[u][v]["weight"] for u, v in result.augmentation
+        )
+
+    def test_iteration_count_is_recorded_in_ledger_and_history(self):
+        graph, tree = _mst_instance(16, 10)
+        result = distributed_tap(graph, tree, seed=10)
+        assert result.iterations == len(result.history)
+        assert result.ledger.count("tap-iteration") == result.iterations
+        assert result.ledger.total_rounds > 0
+
+    def test_history_is_monotone_in_uncovered_edges(self):
+        graph, tree = _mst_instance(16, 11)
+        result = distributed_tap(graph, tree, seed=11)
+        remaining = [entry.uncovered_remaining for entry in result.history]
+        assert all(a >= b for a, b in zip(remaining, remaining[1:]))
+        assert remaining[-1] == 0
+
+    def test_deterministic_given_seed(self):
+        graph, tree = _mst_instance(16, 12)
+        a = distributed_tap(graph, tree, seed=42)
+        b = distributed_tap(graph, tree, seed=42)
+        assert a.augmentation == b.augmentation
+        assert a.iterations == b.iterations
+
+    def test_zero_weight_edges_taken_first(self):
+        graph, tree = _mst_instance(12, 13)
+        # Make one non-tree edge free.
+        state = CoverageState(graph, tree)
+        free_edge = state.non_tree_edges[0]
+        graph[free_edge[0]][free_edge[1]]["weight"] = 0
+        result = distributed_tap(graph, tree, seed=13)
+        assert free_edge in result.augmentation
+        assert result.ledger.count("tap-zero-weight-setup") == 1
+
+    def test_no_symmetry_breaking_still_valid_but_usually_heavier(self):
+        heavier = 0
+        for seed in range(3):
+            graph, tree = _mst_instance(20, 20 + seed)
+            voting = distributed_tap(graph, tree, seed=seed, symmetry_breaking=True)
+            naive = distributed_tap(graph, tree, seed=seed, symmetry_breaking=False)
+            augmented = nx.Graph()
+            augmented.add_nodes_from(graph.nodes())
+            augmented.add_edges_from(tree.tree_edges())
+            augmented.add_edges_from(naive.augmentation)
+            assert is_k_edge_connected(augmented, 2)
+            if naive.weight >= voting.weight:
+                heavier += 1
+        # Adding every maximum candidate should not beat the voting rule on
+        # most instances (it is allowed to tie).
+        assert heavier >= 1
+
+    def test_approximation_against_exact_tap(self):
+        ratios = []
+        for seed in range(4):
+            graph, tree = _mst_instance(14, 30 + seed)
+            result = distributed_tap(graph, tree, seed=seed)
+            _, optimum = exact_tap(graph, tree)
+            assert result.weight >= optimum
+            ratios.append(result.weight / optimum)
+        n = 14
+        assert max(ratios) <= 4 * math.log2(n)
+
+    def test_raises_on_graph_that_is_not_2_edge_connected(self):
+        graph = nx.path_graph(6)
+        for _, _, data in graph.edges(data=True):
+            data["weight"] = 1
+        tree = RootedTree(nx.path_graph(6), root=0)
+        with pytest.raises(RuntimeError):
+            distributed_tap(graph, tree, seed=0)
+
+    def test_max_iterations_guard(self):
+        graph, tree = _mst_instance(16, 40)
+        with pytest.raises(RuntimeError):
+            distributed_tap(graph, tree, seed=0, max_iterations=0)
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_property_augmentation_always_covers_every_tree_edge(self, seed):
+        graph, tree = _mst_instance(12, seed, prob=0.25)
+        result = distributed_tap(graph, tree, seed=seed)
+        assert CoverageState(graph, tree).verify_augmentation(result.augmentation)
+
+
+class TestGreedyTap:
+    def test_produces_a_valid_cover(self):
+        graph, tree = _mst_instance(16, 50)
+        result = greedy_tap(graph, tree)
+        assert CoverageState(graph, tree).verify_augmentation(result.augmentation)
+        assert result.weight == sum(graph[u][v]["weight"] for u, v in result.augmentation)
+
+    def test_matches_exact_on_easy_instances(self):
+        # On a plain cycle the optimum augmentation of the BFS tree is one edge.
+        graph = cycle_with_chords(10, extra_edges=0)
+        tree = RootedTree(minimum_spanning_tree(graph), root=0)
+        result = greedy_tap(graph, tree)
+        assert len(result.augmentation) == 1
+
+    def test_close_to_exact_on_random_instances(self):
+        for seed in range(3):
+            graph, tree = _mst_instance(12, 60 + seed)
+            greedy = greedy_tap(graph, tree)
+            _, optimum = exact_tap(graph, tree)
+            assert greedy.weight <= 3 * optimum
+
+    def test_zero_weight_edges_taken_first(self):
+        graph, tree = _mst_instance(12, 70)
+        free_edge = CoverageState(graph, tree).non_tree_edges[0]
+        graph[free_edge[0]][free_edge[1]]["weight"] = 0
+        result = greedy_tap(graph, tree)
+        assert free_edge in result.augmentation
+
+    def test_raises_when_graph_cannot_be_augmented(self):
+        graph = nx.path_graph(5)
+        tree = RootedTree(nx.path_graph(5), root=0)
+        with pytest.raises(RuntimeError):
+            greedy_tap(graph, tree)

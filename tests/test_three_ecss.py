@@ -1,0 +1,107 @@
+"""Tests for the unweighted 3-ECSS algorithm (Section 5, Theorem 1.3)."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.baselines.thurimella import sparse_certificate_k_ecss
+from repro.core.three_ecss import three_ecss, unweighted_two_ecss_2approx
+from repro.graphs.connectivity import is_k_edge_connected
+from repro.graphs.generators import grid_torus, harary_graph, random_k_edge_connected_graph
+
+
+class TestUnweightedTwoEcss2Approx:
+    def test_output_is_2_edge_connected(self, three_connected_graph):
+        edges, tree, ledger = unweighted_two_ecss_2approx(three_connected_graph)
+        subgraph = nx.Graph()
+        subgraph.add_nodes_from(three_connected_graph.nodes())
+        subgraph.add_edges_from(edges)
+        assert is_k_edge_connected(subgraph, 2)
+        assert ledger.total_rounds > 0
+
+    def test_size_at_most_twice_n_minus_1(self, three_connected_graph):
+        edges, _, _ = unweighted_two_ecss_2approx(three_connected_graph)
+        n = three_connected_graph.number_of_nodes()
+        assert len(edges) <= 2 * (n - 1)
+
+    def test_contains_the_bfs_tree(self, three_connected_graph):
+        edges, tree, _ = unweighted_two_ecss_2approx(three_connected_graph)
+        assert set(tree.tree_edges()) <= set(edges)
+
+    def test_rejects_graphs_with_bridges(self):
+        with pytest.raises(ValueError):
+            unweighted_two_ecss_2approx(nx.path_graph(5))
+
+
+class TestThreeEcss:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_output_is_3_edge_connected(self, seed):
+        graph = random_k_edge_connected_graph(
+            14, 3, extra_edge_prob=0.3, weight_range=None, seed=seed
+        )
+        result = three_ecss(graph, seed=seed)
+        ok, reason = result.verify()
+        assert ok, reason
+        assert result.k == 3
+
+    def test_works_on_structured_graphs(self):
+        for graph in [harary_graph(12, 3), grid_torus(4, 4)]:
+            result = three_ecss(graph, seed=1)
+            ok, reason = result.verify()
+            assert ok, reason
+
+    def test_size_lower_bound_and_reasonable_quality(self, three_connected_graph):
+        result = three_ecss(three_connected_graph, seed=2)
+        n = three_connected_graph.number_of_nodes()
+        # Any 3-ECSS has at least ceil(3n/2) edges; an O(log n) approximation
+        # stays within a log factor of the sparse-certificate baseline.
+        assert result.num_edges >= math.ceil(3 * n / 2)
+        certificate = sparse_certificate_k_ecss(three_connected_graph, 3)
+        assert result.num_edges <= 2 * math.log2(n) * certificate.size
+
+    def test_weight_equals_edge_count(self, three_connected_graph):
+        result = three_ecss(three_connected_graph, seed=3)
+        assert result.weight == result.num_edges
+
+    def test_exact_label_mode(self, three_connected_graph):
+        result = three_ecss(three_connected_graph, seed=4, exact_labels=True)
+        ok, reason = result.verify()
+        assert ok, reason
+        assert result.metadata["label_mode"] == "exact"
+
+    def test_metadata_and_history(self, three_connected_graph):
+        result = three_ecss(three_connected_graph, seed=5)
+        metadata = result.metadata
+        assert metadata["h_size"] + metadata["augmentation_size"] >= result.num_edges
+        history = metadata["iterations_history"]
+        assert len(history) == result.iterations
+        assert history[-1].tree_edges_in_cut_pairs == 0
+
+    def test_rounds_below_theorem_bound_and_iterations_polylog(self, three_connected_graph):
+        result = three_ecss(three_connected_graph, seed=6)
+        assert result.rounds <= result.metadata["round_bound"]
+        n = three_connected_graph.number_of_nodes()
+        assert result.iterations <= 64 * math.log2(n) ** 3
+
+    def test_simulated_bfs_option(self):
+        graph = harary_graph(10, 3)
+        result = three_ecss(graph, seed=7, simulate_bfs=True)
+        assert result.ledger.simulated_rounds > 0
+        ok, _ = result.verify()
+        assert ok
+
+    def test_rejects_graphs_that_are_not_3_edge_connected(self):
+        graph = nx.cycle_graph(8)
+        with pytest.raises(ValueError):
+            three_ecss(graph)
+
+    def test_already_3_connected_h_terminates_quickly(self):
+        # A complete graph: H (BFS tree + covers) may already be far from
+        # 3-connected, but the loop must still terminate and verify.
+        graph = nx.complete_graph(9)
+        result = three_ecss(graph, seed=8)
+        ok, reason = result.verify()
+        assert ok, reason
