@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e10_schedule_ablation
 from repro.core.k_ecss import k_ecss
@@ -20,7 +20,8 @@ def test_e10_ablation_table(benchmark):
     """Regenerate the E10 table: the MST filter keeps the output sparse."""
     table = benchmark.pedantic(
         lambda: experiment_e10_schedule_ablation(n=14, k=3, trials=2,
-                                                 schedule_constants=(1, 2, 4)),
+                                                 schedule_constants=(1, 2, 4),
+                                                 engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

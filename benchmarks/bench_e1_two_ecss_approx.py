@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e1_two_ecss_approximation
 from repro.core.two_ecss import two_ecss
@@ -21,7 +21,7 @@ def test_e1_two_ecss_solver_benchmark(benchmark):
 def test_e1_approximation_table(benchmark):
     """Regenerate the E1 table and check the O(log n) approximation claim."""
     table = benchmark.pedantic(
-        lambda: experiment_e1_two_ecss_approximation(sizes=(16, 24, 32), trials=2),
+        lambda: experiment_e1_two_ecss_approximation(sizes=(16, 24, 32), trials=2, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

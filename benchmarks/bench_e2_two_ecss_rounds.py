@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e2_two_ecss_rounds
 from repro.core.two_ecss import two_ecss
@@ -19,7 +19,7 @@ def test_e2_large_diameter_instance_benchmark(benchmark):
 def test_e2_round_scaling_table(benchmark):
     """Regenerate the E2 table and check rounds stay within the claimed bound."""
     table = benchmark.pedantic(
-        lambda: experiment_e2_two_ecss_rounds(sizes=(16, 32, 64), trials=1),
+        lambda: experiment_e2_two_ecss_rounds(sizes=(16, 32, 64), trials=1, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

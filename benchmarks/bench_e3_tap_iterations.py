@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e3_tap_iterations
 from repro.graphs.generators import random_k_edge_connected_graph
@@ -22,7 +22,7 @@ def test_e3_tap_solver_benchmark(benchmark):
 def test_e3_iteration_growth_table(benchmark):
     """Regenerate the E3 table and check the polylogarithmic iteration claim."""
     table = benchmark.pedantic(
-        lambda: experiment_e3_tap_iterations(sizes=(16, 32, 64), trials=2),
+        lambda: experiment_e3_tap_iterations(sizes=(16, 32, 64), trials=2, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e4_k_ecss
 from repro.core.k_ecss import k_ecss
@@ -19,7 +19,7 @@ def test_e4_k_ecss_solver_benchmark(benchmark):
 def test_e4_quality_table(benchmark):
     """Regenerate the E4 table and check the O(k log n) approximation claim."""
     table = benchmark.pedantic(
-        lambda: experiment_e4_k_ecss(sizes=(12, 16), ks=(2, 3), trials=2),
+        lambda: experiment_e4_k_ecss(sizes=(12, 16), ks=(2, 3), trials=2, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

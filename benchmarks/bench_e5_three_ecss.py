@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e5_three_ecss_rounds
 from repro.core.three_ecss import three_ecss
@@ -21,7 +21,7 @@ def test_e5_three_ecss_solver_benchmark(benchmark):
 def test_e5_round_scaling_table(benchmark):
     """Regenerate the E5 table: rounds track D log^3 n and sizes track the 2-approx baseline."""
     table = benchmark.pedantic(
-        lambda: experiment_e5_three_ecss_rounds(sizes=(16, 24, 36), trials=1),
+        lambda: experiment_e5_three_ecss_rounds(sizes=(16, 24, 36), trials=1, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e6_decomposition
 from repro.decomposition.segments import build_decomposition
@@ -27,7 +27,7 @@ def test_e6_decomposition_benchmark(benchmark):
 def test_e6_scaling_table(benchmark):
     """Regenerate the E6 table and check the O(sqrt n) count/diameter claims."""
     table = benchmark.pedantic(
-        lambda: experiment_e6_decomposition(sizes=(64, 144, 256), trials=1),
+        lambda: experiment_e6_decomposition(sizes=(64, 144, 256), trials=1, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e7_cycle_space
 from repro.cycle_space.labels import compute_labels
@@ -19,7 +19,7 @@ def test_e7_labelling_benchmark(benchmark):
 def test_e7_accuracy_table(benchmark):
     """Regenerate the E7 table: one-sided error, false positives decay with b."""
     table = benchmark.pedantic(
-        lambda: experiment_e7_cycle_space(n=24, bits_values=(1, 2, 4, 8, 16), trials=5),
+        lambda: experiment_e7_cycle_space(n=24, bits_values=(1, 2, 4, 8, 16), trials=5, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

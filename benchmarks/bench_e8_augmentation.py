@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e8_augmentation_invariants
 from repro.core.k_ecss import augment_to_k
@@ -24,7 +24,7 @@ def test_e8_single_augmentation_benchmark(benchmark):
 def test_e8_invariant_table(benchmark):
     """Regenerate the E8 table and re-check Claim 4.1 on every row."""
     table = benchmark.pedantic(
-        lambda: experiment_e8_augmentation_invariants(n=14, k=3, trials=3),
+        lambda: experiment_e8_augmentation_invariants(n=14, k=3, trials=3, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from _bench_helpers import show
+from _bench_helpers import engine_from_env, show
 
 from repro.analysis.experiments import experiment_e9_voting_ablation
 from repro.core.two_ecss import two_ecss
@@ -21,7 +21,7 @@ def test_e9_no_symmetry_breaking_benchmark(benchmark):
 def test_e9_ablation_table(benchmark):
     """Regenerate the E9 table: voting never loses on weight by more than a whisker."""
     table = benchmark.pedantic(
-        lambda: experiment_e9_voting_ablation(sizes=(24, 40), trials=3),
+        lambda: experiment_e9_voting_ablation(sizes=(24, 40), trials=3, engine=engine_from_env()),
         rounds=1,
         iterations=1,
     )

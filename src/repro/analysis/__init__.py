@@ -1,14 +1,29 @@
-"""Experiment harness: runners, table formatting and the E1..E10 experiments.
+"""Experiment harness: engine, runners, table formatting and the E1..E10 experiments.
 
 The paper contains no empirical evaluation, so the experiments here measure
 the quantitative content of its theorems (see DESIGN.md §1 and §4) --
 approximation ratios against exact optima / lower bounds, round-complexity
 scaling against the claimed bounds, iteration counts, decomposition and
 cycle-space properties, and ablations of the design choices.
+
+Trials fan out over a process pool and replay from an on-disk cache via
+:class:`~repro.analysis.engine.ExperimentEngine`; see that module for the
+parallel/caching substrate and :mod:`repro.analysis.experiments` for the
+registered experiments.
 """
 
 from repro.analysis.tables import Table
-from repro.analysis.runner import ExperimentRunner, TrialResult
+from repro.analysis.runner import ExperimentRunner, TrialFailure, TrialResult
+from repro.analysis.engine import CODE_VERSION, ExperimentEngine, TrialJob
 from repro.analysis import experiments
 
-__all__ = ["Table", "ExperimentRunner", "TrialResult", "experiments"]
+__all__ = [
+    "Table",
+    "ExperimentRunner",
+    "TrialResult",
+    "TrialFailure",
+    "ExperimentEngine",
+    "TrialJob",
+    "CODE_VERSION",
+    "experiments",
+]

@@ -1,0 +1,277 @@
+"""Parallel, cached experiment engine.
+
+The experiments E1..E10 sweep randomized solvers over (configuration, seed)
+grids.  Every trial is described by a picklable :class:`TrialJob` -- the
+experiment name, the configuration (as sorted key/value pairs) and the seed
+derived for that trial -- so the engine can fan trials out over a
+``concurrent.futures.ProcessPoolExecutor`` worker pool and still reassemble
+results in deterministic job order.  Because seeds are derived up front (see
+:func:`repro.analysis.runner.derive_seed`), a parallel run is bit-identical to
+a serial one.
+
+Results are optionally persisted to an on-disk JSON cache keyed by a stable
+hash of ``(experiment, config, seed, code-version tag)``.  Re-running a sweep
+with a warm cache replays completed trials from disk; trials that failed are
+*not* cached, so a partially failed sweep resumes from where it crashed
+instead of recomputing everything.  Bump :data:`CODE_VERSION` whenever solver
+behaviour changes to invalidate stale entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.runner import TrialResult, derive_seed
+
+__all__ = [
+    "CODE_VERSION",
+    "TrialJob",
+    "ExperimentEngine",
+    "resolve_trial",
+]
+
+# Stamped into every cache key; bump when solver or experiment behaviour
+# changes so stale cached metrics are recomputed rather than replayed.
+CODE_VERSION = "1"
+
+TrialFn = Callable[[Mapping[str, object], int], dict]
+
+
+def resolve_trial(trial: TrialFn | str) -> TrialFn:
+    """Resolve *trial* to a callable, looking up registered experiment names.
+
+    Accepts either a trial function directly or the name of an experiment
+    registered in :data:`repro.analysis.experiments.TRIAL_REGISTRY` (e.g.
+    ``"e1"``).  Name-based lookup keeps jobs picklable under any
+    multiprocessing start method.
+    """
+    if callable(trial):
+        return trial
+    from repro.analysis.experiments import TRIAL_REGISTRY
+
+    try:
+        return TRIAL_REGISTRY[trial]
+    except KeyError:
+        raise KeyError(
+            f"no trial function registered under {trial!r}; "
+            f"known experiments: {sorted(TRIAL_REGISTRY)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TrialJob:
+    """A self-describing, picklable unit of experiment work.
+
+    Attributes:
+        experiment: Registered experiment name (e.g. ``"e1"``).
+        config: The trial configuration as sorted ``(key, value)`` pairs so
+            that equal configurations hash identically.
+        seed: The deterministic seed for this trial.
+        index: Trial index within its configuration (used by tables that
+            report per-trial rows).
+    """
+
+    experiment: str
+    config: tuple[tuple[str, object], ...]
+    seed: int
+    index: int = 0
+
+    @classmethod
+    def make(
+        cls, experiment: str, config: Mapping[str, object], seed: int, index: int = 0
+    ) -> "TrialJob":
+        """Build a job from a configuration mapping (keys are sorted)."""
+        return cls(experiment, tuple(sorted(config.items())), seed, index)
+
+    @property
+    def config_dict(self) -> dict[str, object]:
+        return dict(self.config)
+
+    def cache_key(self, code_version: str = CODE_VERSION) -> str:
+        """Stable hash of (experiment, config, seed, code-version tag)."""
+        payload = "|".join(
+            (self.experiment, code_version, repr(self.config), str(self.seed))
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _execute_trial(trial: TrialFn | str, job: TrialJob) -> TrialResult:
+    """Run one trial, capturing any exception into ``TrialResult.error``."""
+    function = resolve_trial(trial)
+    started = time.perf_counter()
+    try:
+        metrics = function(job.config_dict, job.seed)
+        error = None
+    except Exception:  # noqa: BLE001 -- failures are data, surfaced downstream
+        metrics, error = {}, traceback.format_exc()
+    return TrialResult(
+        config=job.config_dict,
+        seed=job.seed,
+        metrics=metrics,
+        error=error,
+        index=job.index,
+        duration=time.perf_counter() - started,
+    )
+
+
+@dataclass
+class ExperimentEngine:
+    """Runs :class:`TrialJob` batches over a worker pool with an on-disk cache.
+
+    Attributes:
+        workers: Process-pool size; ``1`` executes in-process (no pool).
+        cache_dir: Directory for the JSON result cache; ``None`` disables
+            caching entirely.
+        use_cache: Set to ``False`` to bypass the cache even when
+            ``cache_dir`` is configured (forces recomputation, still no
+            writes).
+        code_version: Tag mixed into every cache key; entries written under a
+            different tag are ignored.
+        stats: Running ``hits`` / ``misses`` / ``failures`` counters across
+            all ``run_jobs`` calls on this engine.
+    """
+
+    workers: int = 1
+    cache_dir: str | Path | None = None
+    use_cache: bool = True
+    code_version: str = CODE_VERSION
+    stats: dict[str, int] = field(
+        default_factory=lambda: {"hits": 0, "misses": 0, "failures": 0}
+    )
+
+    # ---------------------------------------------------------------- caching
+    @property
+    def caching(self) -> bool:
+        return self.use_cache and self.cache_dir is not None
+
+    def _cache_path(self, job: TrialJob) -> Path:
+        return (
+            Path(self.cache_dir)
+            / job.experiment
+            / f"{job.cache_key(self.code_version)}.json"
+        )
+
+    def _load_cached(self, job: TrialJob) -> TrialResult | None:
+        try:
+            payload = json.loads(self._cache_path(job).read_text())
+        except (OSError, ValueError):
+            return None
+        if payload.get("code_version") != self.code_version:
+            return None
+        if "metrics" not in payload:
+            return None
+        return TrialResult(
+            config=job.config_dict,
+            seed=job.seed,
+            metrics=payload["metrics"],
+            index=job.index,
+            cached=True,
+        )
+
+    def _store(self, job: TrialJob, result: TrialResult) -> None:
+        if result.error is not None:
+            # Failed trials are never cached: a resumed sweep retries them.
+            return
+        path = self._cache_path(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "experiment": job.experiment,
+            "config": job.config_dict,
+            "seed": job.seed,
+            "code_version": self.code_version,
+            "metrics": result.metrics,
+            "duration": result.duration,
+        }
+        # Unique tmp name: concurrent processes sharing a cache dir may miss
+        # the same key, and a shared tmp path would let one rename the other's
+        # half-written file into place.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, default=repr))
+        tmp.replace(path)
+
+    # -------------------------------------------------------------- execution
+    def run_jobs(
+        self, trial: TrialFn | str, jobs: Sequence[TrialJob]
+    ) -> list[TrialResult]:
+        """Execute *jobs*, replaying cache hits; results come back in job order.
+
+        Exceptions raised by a trial do not abort the batch: they are captured
+        per-trial into ``TrialResult.error`` (and such results are excluded
+        from the cache).  Aggregation helpers raise
+        :class:`~repro.analysis.runner.TrialFailure` when asked to average
+        failed trials, so failures surface instead of silently vanishing.
+        """
+        results: list[TrialResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, TrialJob]] = []
+        for position, job in enumerate(jobs):
+            cached = self._load_cached(job) if self.caching else None
+            if cached is not None:
+                results[position] = cached
+                self.stats["hits"] += 1
+            else:
+                pending.append((position, job))
+        self.stats["misses"] += len(pending)
+
+        if pending:
+            if self.workers > 1 and len(pending) > 1:
+                pool_size = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    executed = list(
+                        pool.map(
+                            _execute_trial,
+                            [trial] * len(pending),
+                            [job for _, job in pending],
+                        )
+                    )
+            else:
+                executed = [_execute_trial(trial, job) for _, job in pending]
+            for (position, job), result in zip(pending, executed):
+                results[position] = result
+                if self.caching:
+                    self._store(job, result)
+
+        self.stats["failures"] += sum(
+            1 for result in results if result is not None and result.error is not None
+        )
+        return [result for result in results if result is not None]
+
+    def run(
+        self,
+        name: str,
+        configs: Sequence[Mapping[str, object]],
+        trial: TrialFn | str,
+        trials: int = 3,
+        base_seed: int = 0,
+    ) -> list[TrialResult]:
+        """Convenience sweep: derive seeds the classic runner way and execute."""
+        jobs = [
+            TrialJob.make(
+                name,
+                config,
+                derive_seed(name, base_seed, sorted(config.items()), index),
+                index,
+            )
+            for config in configs
+            for index in range(trials)
+        ]
+        return self.run_jobs(trial, jobs)
+
+    # ------------------------------------------------------------- reporting
+    def summary(self) -> str:
+        """One-line account of cache hits, executed trials and failures."""
+        mode = f"workers={self.workers}"
+        cache = (
+            f"cache={Path(self.cache_dir)}" if self.caching else "cache=off"
+        )
+        return (
+            f"engine: {self.stats['hits']} cached, {self.stats['misses']} executed, "
+            f"{self.stats['failures']} failed ({mode}, {cache})"
+        )

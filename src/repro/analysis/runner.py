@@ -4,6 +4,13 @@ The algorithms are randomised, so each configuration is run over several seeds
 and the experiments report means (and, where interesting, maxima).  Seeds are
 derived deterministically from the configuration so re-running an experiment
 reproduces the same numbers.
+
+:class:`ExperimentRunner` is the small, historical front door; the heavy
+lifting (worker pools, the on-disk result cache) lives in
+:mod:`repro.analysis.engine` and the runner delegates to it.  Trial failures
+are captured per-trial into :attr:`TrialResult.error` rather than aborting a
+whole sweep; aggregating failed trials raises :class:`TrialFailure` so they
+cannot silently disappear into a mean.
 """
 
 from __future__ import annotations
@@ -11,9 +18,19 @@ from __future__ import annotations
 import hashlib
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
-__all__ = ["TrialResult", "ExperimentRunner", "derive_seed"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.engine import ExperimentEngine
+
+__all__ = [
+    "TrialResult",
+    "TrialFailure",
+    "ExperimentRunner",
+    "derive_seed",
+    "format_failures",
+    "trial_groups",
+]
 
 
 def derive_seed(*parts: object) -> int:
@@ -22,13 +39,75 @@ def derive_seed(*parts: object) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
+class TrialFailure(RuntimeError):
+    """Raised when failed trials reach an aggregation path.
+
+    The message lists every failed (configuration, seed) pair together with
+    the captured traceback so the root cause is visible from the test log.
+    """
+
+
 @dataclass
 class TrialResult:
-    """Metrics recorded for one (configuration, seed) trial."""
+    """Metrics recorded for one (configuration, seed) trial.
+
+    Attributes:
+        config: The trial configuration.
+        seed: The seed the trial ran under.
+        metrics: Metric name -> value recorded by the trial function.
+        error: ``None`` on success; the formatted traceback when the trial
+            raised.
+        index: Trial index within its configuration.
+        duration: Wall-clock seconds the trial took (0 for cache replays).
+        cached: ``True`` when the result was replayed from the on-disk cache.
+    """
 
     config: Mapping[str, object]
     seed: int
     metrics: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+    index: int = 0
+    duration: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def format_failures(failures: Sequence[TrialResult], limit: int = 3) -> str:
+    """Human-readable summary of failed trials (first *limit* tracebacks)."""
+    lines = [f"{len(failures)} trial(s) failed:"]
+    for result in failures[:limit]:
+        lines.append(f"- config={dict(result.config)!r} seed={result.seed}")
+        if result.error:
+            lines.append(result.error.rstrip())
+    if len(failures) > limit:
+        lines.append(f"... and {len(failures) - limit} more")
+    return "\n".join(lines)
+
+
+def trial_groups(
+    results: Iterable[TrialResult],
+    key: Callable[[TrialResult], object],
+    skip_failures: bool = False,
+) -> dict[object, list[TrialResult]]:
+    """Group trial results by *key*, preserving first-seen order.
+
+    Raises :class:`TrialFailure` when any result carries an error (unless
+    ``skip_failures`` is set, which drops failed trials from every group), so
+    a crash inside a worker process cannot silently skew an aggregate.
+    """
+    results = list(results)
+    failures = [result for result in results if result.error is not None]
+    if failures and not skip_failures:
+        raise TrialFailure(format_failures(failures))
+    grouped: dict[object, list[TrialResult]] = {}
+    for result in results:
+        if result.error is not None:
+            continue
+        grouped.setdefault(key(result), []).append(result)
+    return grouped
 
 
 @dataclass
@@ -39,10 +118,14 @@ class ExperimentRunner:
         trials: Number of seeds per configuration.
         base_seed: Mixed into every derived seed, so a whole experiment can be
             re-seeded at once.
+        engine: Optional :class:`~repro.analysis.engine.ExperimentEngine` to
+            execute trials with (worker pool, cache).  ``None`` means a
+            default serial, uncached engine.
     """
 
     trials: int = 3
     base_seed: int = 0
+    engine: "ExperimentEngine | None" = None
 
     def run(
         self,
@@ -50,24 +133,32 @@ class ExperimentRunner:
         configs: Sequence[Mapping[str, object]],
         trial: Callable[[Mapping[str, object], int], dict[str, float]],
     ) -> list[TrialResult]:
-        """Run *trial* for every configuration and seed; return all results."""
-        results: list[TrialResult] = []
-        for config in configs:
-            for index in range(self.trials):
-                seed = derive_seed(name, self.base_seed, sorted(config.items()), index)
-                metrics = trial(config, seed)
-                results.append(TrialResult(config=dict(config), seed=seed, metrics=metrics))
-        return results
+        """Run *trial* for every configuration and seed; return all results.
+
+        A trial that raises does not abort the sweep: the exception is
+        captured into ``TrialResult.error`` and surfaces when the result is
+        aggregated (or when the caller inspects ``result.ok``).
+        """
+        from repro.analysis.engine import ExperimentEngine
+
+        engine = self.engine if self.engine is not None else ExperimentEngine()
+        return engine.run(
+            name, configs, trial, trials=self.trials, base_seed=self.base_seed
+        )
 
     @staticmethod
     def aggregate(
         results: Iterable[TrialResult],
         key: Callable[[TrialResult], object],
+        skip_failures: bool = False,
     ) -> dict[object, dict[str, float]]:
-        """Group results by *key* and average each metric within a group."""
-        grouped: dict[object, list[TrialResult]] = {}
-        for result in results:
-            grouped.setdefault(key(result), []).append(result)
+        """Group results by *key* and average each metric within a group.
+
+        Raises :class:`TrialFailure` if any result carries an error, unless
+        ``skip_failures`` is set (in which case failed trials are excluded
+        from every group).
+        """
+        grouped = trial_groups(results, key, skip_failures=skip_failures)
         aggregated: dict[object, dict[str, float]] = {}
         for group_key, group in grouped.items():
             metric_names = group[0].metrics.keys()

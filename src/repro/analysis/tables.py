@@ -3,6 +3,13 @@
 Every experiment returns a :class:`Table`; the benchmarks print them and
 EXPERIMENTS.md embeds them.  Values are kept as Python objects and formatted
 lazily so the same table can be rendered as aligned text or Markdown.
+
+The module also hosts the aggregation helpers the experiments use to turn
+(possibly cache-replayed) :class:`~repro.analysis.runner.TrialResult` batches
+into table rows: :func:`trial_groups`, :func:`metric_values`,
+:func:`metric_mean` and :func:`metric_max`.  Grouping refuses to average over
+failed trials -- it raises :class:`~repro.analysis.runner.TrialFailure` -- so
+a crash inside a worker process cannot silently skew an aggregate.
 """
 
 from __future__ import annotations
@@ -10,7 +17,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-__all__ = ["Table"]
+from repro.analysis.runner import TrialResult, trial_groups
+
+__all__ = [
+    "Table",
+    "trial_groups",
+    "metric_values",
+    "metric_mean",
+    "metric_max",
+]
+
+
+def metric_values(group: Sequence[TrialResult], name: str) -> list:
+    """The values of metric *name* across *group*, in trial order."""
+    return [result.metrics[name] for result in group]
+
+
+def metric_mean(group: Sequence[TrialResult], name: str) -> float:
+    """Plain ``sum / count`` mean of metric *name* over *group*."""
+    values = metric_values(group, name)
+    return sum(values) / len(values)
+
+
+def metric_max(group: Sequence[TrialResult], name: str):
+    """Maximum of metric *name* over *group*."""
+    return max(metric_values(group, name))
 
 
 def _format_value(value: object) -> str:

@@ -3,8 +3,15 @@
 Examples::
 
     kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
-    kecss experiment --id e3
+    kecss experiment e3
+    kecss experiment e1 --workers 4 --cache-dir .repro-cache
     kecss families
+
+The ``experiment`` subcommand runs through the parallel cached
+:class:`~repro.analysis.engine.ExperimentEngine`: ``--workers N`` fans trials
+out over N worker processes (aggregates are bit-identical to a serial run),
+``--cache-dir`` persists per-trial results so re-runs and partially failed
+sweeps resume from disk, and ``--no-cache`` forces recomputation.
 """
 
 from __future__ import annotations
@@ -12,9 +19,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import experiments as experiment_module
+from repro.analysis.engine import ExperimentEngine
 from repro.core.k_ecss import k_ecss
 from repro.core.three_ecss import three_ecss
 from repro.core.two_ecss import two_ecss
@@ -22,18 +31,7 @@ from repro.graphs.generators import FAMILIES, make_family
 
 __all__ = ["main", "build_parser"]
 
-_EXPERIMENTS = {
-    "e1": experiment_module.experiment_e1_two_ecss_approximation,
-    "e2": experiment_module.experiment_e2_two_ecss_rounds,
-    "e3": experiment_module.experiment_e3_tap_iterations,
-    "e4": experiment_module.experiment_e4_k_ecss,
-    "e5": experiment_module.experiment_e5_three_ecss_rounds,
-    "e6": experiment_module.experiment_e6_decomposition,
-    "e7": experiment_module.experiment_e7_cycle_space,
-    "e8": experiment_module.experiment_e8_augmentation_invariants,
-    "e9": experiment_module.experiment_e9_voting_ablation,
-    "e10": experiment_module.experiment_e10_schedule_ablation,
-}
+_EXPERIMENTS = experiment_module.EXPERIMENTS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,9 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     experiment = subparsers.add_parser("experiment", help="run one of the E1..E10 experiments")
-    experiment.add_argument("--id", dest="experiment_id", default="all",
+    experiment.add_argument("positional_id", nargs="?", default=None, metavar="id",
+                            choices=["all", *sorted(_EXPERIMENTS)],
+                            help="experiment id (same as --id; defaults to 'all')")
+    experiment.add_argument("--id", dest="experiment_id", default=None,
                             choices=["all", *sorted(_EXPERIMENTS)])
     experiment.add_argument("--markdown", action="store_true", help="emit Markdown tables")
+    experiment.add_argument("--workers", type=int, default=1,
+                            help="worker processes for trial fan-out (default: 1, serial)")
+    experiment.add_argument("--cache-dir", default=None,
+                            help="directory for the on-disk trial cache (default: caching off)")
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="ignore the cache even when --cache-dir is set")
 
     subparsers.add_parser("families", help="list the registered graph families")
     return parser
@@ -131,13 +138,34 @@ def _verify(args: argparse.Namespace) -> int:
 
 
 def _experiment(args: argparse.Namespace) -> int:
-    if args.experiment_id == "all":
-        tables = experiment_module.all_experiments()
+    if (
+        args.positional_id is not None
+        and args.experiment_id is not None
+        and args.positional_id != args.experiment_id
+    ):
+        raise SystemExit(
+            f"conflicting experiment ids: positional {args.positional_id!r} "
+            f"vs --id {args.experiment_id!r}"
+        )
+    experiment_id = args.positional_id or args.experiment_id or "all"
+    if args.cache_dir is not None:
+        try:
+            Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"cannot create cache dir {args.cache_dir!r}: {exc}")
+    engine = ExperimentEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    if experiment_id == "all":
+        tables = experiment_module.all_experiments(engine=engine)
     else:
-        tables = [_EXPERIMENTS[args.experiment_id]()]
+        tables = [_EXPERIMENTS[experiment_id](engine=engine)]
     for table in tables:
         print(table.to_markdown() if args.markdown else table.to_text())
         print()
+    print(engine.summary(), file=sys.stderr)
     return 0
 
 

@@ -108,3 +108,96 @@ class TestNetworkExecution:
         network = CongestNetwork(graph)
         report = network.run(lambda *args: _EchoNode(*args), max_rounds=5)
         assert report.max_congestion == 1
+
+
+class _BudgetNode(CongestNode):
+    """Node 0 ships a configurable word pattern to node 1 in round 1."""
+
+    #: list of per-message word counts node 0 sends to node 1 in round 1
+    plan: list[int] = []
+
+    def on_round(self, round_number, messages):
+        if round_number == 1 and self.node_id == 0:
+            for words in self.plan:
+                self.send(1, "payload", words=words)
+        self.halt()
+
+
+def _run_budget_plan(plan, bandwidth_words):
+    class Node(_BudgetNode):
+        pass
+
+    Node.plan = list(plan)
+    network = CongestNetwork(nx.path_graph(2), bandwidth_words=bandwidth_words)
+    return network.run(lambda *args: Node(*args), max_rounds=3)
+
+
+class TestBandwidthConformance:
+    """The budget must fire at exactly budget+1 words on one edge in one
+    round, with multi-message aggregation accounted per directed edge."""
+
+    def test_exactly_budget_words_is_allowed(self):
+        report = _run_budget_plan([3], bandwidth_words=3)
+        assert report.messages == 1
+
+    def test_single_message_of_budget_plus_one_words_fires(self):
+        with pytest.raises(BandwidthExceeded) as excinfo:
+            _run_budget_plan([4], bandwidth_words=3)
+        assert "4 words" in str(excinfo.value)
+        assert "budget 3" in str(excinfo.value)
+        assert "round 1" in str(excinfo.value)
+
+    def test_aggregation_across_messages_exactly_at_budget_is_allowed(self):
+        # 1 + 1 + 1 words over one edge in one round == budget: fine.
+        report = _run_budget_plan([1, 1, 1], bandwidth_words=3)
+        assert report.messages == 3
+
+    def test_aggregation_across_messages_fires_at_budget_plus_one(self):
+        # 1 + 1 + 1 + 1 crosses the 3-word budget by exactly one word.
+        with pytest.raises(BandwidthExceeded) as excinfo:
+            _run_budget_plan([1, 1, 1, 1], bandwidth_words=3)
+        assert "carried 4 words" in str(excinfo.value)
+
+    def test_mixed_message_sizes_aggregate(self):
+        with pytest.raises(BandwidthExceeded):
+            _run_budget_plan([2, 2], bandwidth_words=3)
+
+    def test_budget_is_per_directed_edge_not_per_node(self):
+        """A node may spend the full budget towards each neighbour."""
+
+        class Spread(CongestNode):
+            def on_round(self, round_number, messages):
+                if round_number == 1 and self.node_id == 1:
+                    for neighbor in self.neighbors:
+                        self.send(neighbor, "x", words=2)
+                self.halt()
+
+        network = CongestNetwork(nx.path_graph(3), bandwidth_words=2)
+        report = network.run(lambda *args: Spread(*args), max_rounds=3)
+        assert report.messages == 2
+        assert report.max_congestion == 2
+
+    def test_opposite_directions_are_accounted_separately(self):
+        """u->v and v->u are distinct directed edges for the budget."""
+
+        class BothWays(CongestNode):
+            def on_round(self, round_number, messages):
+                if round_number == 1:
+                    self.send_all("x", words=2)
+                self.halt()
+
+        network = CongestNetwork(nx.path_graph(2), bandwidth_words=2)
+        report = network.run(lambda *args: BothWays(*args), max_rounds=3)
+        assert report.messages == 2
+
+    def test_budget_resets_every_round(self):
+        class TwoRounds(CongestNode):
+            def on_round(self, round_number, messages):
+                if self.node_id == 0 and round_number <= 2:
+                    self.send(1, "x", words=2)
+                if round_number >= 2:
+                    self.halt()
+
+        network = CongestNetwork(nx.path_graph(2), bandwidth_words=2)
+        report = network.run(lambda *args: TwoRounds(*args), max_rounds=5)
+        assert report.messages == 2

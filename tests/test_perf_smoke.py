@@ -1,0 +1,68 @@
+"""Performance smoke tests for the experiment engine.
+
+Two guards, both part of the default test run:
+
+* E1 in smoke mode (tiny sizes, serial) finishes within a generous
+  wall-clock budget, so an accidental complexity regression in the solver or
+  the engine plumbing shows up as a test failure rather than a slow CI run;
+* a warm-cache replay of E1 + E4 is at least 5x faster than the cold run
+  (the acceptance bar for the on-disk trial cache) -- timings are printed so
+  the speedup is visible in the test log with ``-s``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.engine import ExperimentEngine
+from repro.analysis.experiments import (
+    experiment_e1_two_ecss_approximation,
+    experiment_e4_k_ecss,
+)
+
+# Generous ceiling: the smoke-mode sweep takes well under a second locally;
+# the budget only exists to catch order-of-magnitude regressions.
+E1_SMOKE_BUDGET_SECONDS = 30.0
+WARM_CACHE_MIN_SPEEDUP = 5.0
+
+
+def _run_e1_e4(engine):
+    e1 = experiment_e1_two_ecss_approximation(sizes=(16, 24), trials=2, engine=engine)
+    e4 = experiment_e4_k_ecss(sizes=(12, 16), ks=(2, 3), trials=2, engine=engine)
+    return e1, e4
+
+
+def test_e1_smoke_mode_runs_within_wall_clock_budget():
+    started = time.perf_counter()
+    table = experiment_e1_two_ecss_approximation(sizes=(12, 16), trials=1)
+    elapsed = time.perf_counter() - started
+    print(f"\nE1 smoke mode: {elapsed:.3f}s (budget {E1_SMOKE_BUDGET_SECONDS}s)")
+    assert len(table.rows) == 2
+    assert elapsed < E1_SMOKE_BUDGET_SECONDS
+
+
+def test_warm_cache_replay_of_e1_e4_is_at_least_5x_faster(tmp_path):
+    cold_engine = ExperimentEngine(cache_dir=tmp_path)
+    started = time.perf_counter()
+    cold_e1, cold_e4 = _run_e1_e4(cold_engine)
+    cold = time.perf_counter() - started
+    assert cold_engine.stats["hits"] == 0
+
+    warm_engine = ExperimentEngine(cache_dir=tmp_path)
+    started = time.perf_counter()
+    warm_e1, warm_e4 = _run_e1_e4(warm_engine)
+    warm = time.perf_counter() - started
+    assert warm_engine.stats["misses"] == 0, "warm run must be a pure cache replay"
+
+    speedup = cold / warm
+    print(
+        f"\nE1+E4 cold: {cold:.3f}s, warm cache: {warm:.3f}s "
+        f"-> {speedup:.1f}x speedup ({warm_engine.summary()})"
+    )
+    assert speedup >= WARM_CACHE_MIN_SPEEDUP, (
+        f"warm-cache replay only {speedup:.1f}x faster (cold {cold:.3f}s, "
+        f"warm {warm:.3f}s)"
+    )
+    # The replayed tables are bit-identical to the cold ones.
+    assert warm_e1.rows == cold_e1.rows
+    assert warm_e4.rows == cold_e4.rows
