@@ -1,4 +1,4 @@
-"""Experiment harness: engine, runners, table formatting and the E1..E10 experiments.
+"""Experiment harness: engine, backends, runners, tables and the experiments.
 
 The paper contains no empirical evaluation, so the experiments here measure
 the quantitative content of its theorems (see DESIGN.md §1 and §4) --
@@ -6,15 +6,40 @@ approximation ratios against exact optima / lower bounds, round-complexity
 scaling against the claimed bounds, iteration counts, decomposition and
 cycle-space properties, and ablations of the design choices.
 
-Trials fan out over a process pool and replay from an on-disk cache via
-:class:`~repro.analysis.engine.ExperimentEngine`; see that module for the
-parallel/caching substrate and :mod:`repro.analysis.experiments` for the
-registered experiments.
+Trials fan out over pluggable execution backends
+(:mod:`repro.analysis.backends`: serial, threads, processes, or registered
+third-party backends) and replay from an on-disk cache via
+:class:`~repro.analysis.engine.ExperimentEngine`.  Cache entries are keyed by
+code versions derived from solver-module content hashes
+(:mod:`repro.analysis.code_version`) and cleaned up with
+:func:`~repro.analysis.engine.cache_gc` /
+:func:`~repro.analysis.engine.cache_clear`.  See
+:mod:`repro.analysis.experiments` for the registered experiments and
+:mod:`repro.analysis.differential` for the engine-sharded differential
+trials.
 """
 
 from repro.analysis.tables import Table
 from repro.analysis.runner import ExperimentRunner, TrialFailure, TrialResult
-from repro.analysis.engine import CODE_VERSION, ExperimentEngine, TrialJob
+from repro.analysis.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    register_backend,
+    resolve_backend,
+)
+from repro.analysis.code_version import code_version_for
+from repro.analysis.engine import (
+    CODE_VERSION,
+    CacheFidelityError,
+    ExperimentEngine,
+    TrialJob,
+    cache_clear,
+    cache_gc,
+    cache_stats,
+)
 from repro.analysis import experiments
 
 __all__ = [
@@ -25,5 +50,17 @@ __all__ = [
     "ExperimentEngine",
     "TrialJob",
     "CODE_VERSION",
+    "CacheFidelityError",
+    "code_version_for",
+    "cache_stats",
+    "cache_gc",
+    "cache_clear",
+    "BACKENDS",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "register_backend",
+    "resolve_backend",
     "experiments",
 ]

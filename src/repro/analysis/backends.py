@@ -1,0 +1,146 @@
+"""Pluggable execution backends for the experiment engine.
+
+The engine used to drive a hard-coded ``ProcessPoolExecutor``; sweeps that
+want to scale past one machine (MPI, ray, a job queue) had to patch the
+engine itself.  This module separates *what* to run (the engine's job
+batches) from *where* to run it, following the scheduler/executor split of
+container orchestration systems: an :class:`ExecutionBackend` maps a
+picklable function over a batch of items and returns the results **in item
+order**, and a string registry (:data:`BACKENDS`) lets new backends plug in
+by name without touching :class:`~repro.analysis.engine.ExperimentEngine`.
+
+Three backends ship by default:
+
+* ``"serial"`` -- in-process ``for`` loop; zero overhead, always available.
+* ``"threads"`` -- ``ThreadPoolExecutor``; cheap fan-out for trials that
+  release the GIL or block on I/O, and the cheapest way to exercise the
+  concurrent code paths in tests.
+* ``"processes"`` -- ``ProcessPoolExecutor``; true parallelism for
+  CPU-bound solver trials (functions and items must pickle).
+
+Because trial seeds are derived up front, every backend produces
+bit-identical results; only the wall-clock differs.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "register_backend",
+    "resolve_backend",
+]
+
+_Item = TypeVar("_Item")
+_Result = TypeVar("_Result")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Maps a function over a batch of items, preserving item order.
+
+    Implementations must be deterministic in *ordering*: ``map(f, items)``
+    returns ``[f(items[0]), f(items[1]), ...]`` regardless of the order the
+    calls actually execute in.  ``name`` identifies the backend in summaries
+    and registry lookups.
+    """
+
+    name: str
+
+    def map(
+        self, function: Callable[[_Item], _Result], items: Sequence[_Item]
+    ) -> list[_Result]:
+        """Apply *function* to every item; results come back in item order."""
+        ...
+
+
+#: Backend name -> factory taking a ``workers`` keyword.  ``register_backend``
+#: adds entries; MPI/ray backends can register here without engine changes.
+BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Register the decorated backend factory/class under *name*."""
+
+    def decorate(factory):
+        BACKENDS[name] = factory
+        return factory
+
+    return decorate
+
+
+@register_backend("serial")
+@dataclass
+class SerialBackend:
+    """In-process sequential execution; the reference all others must match."""
+
+    workers: int = 1
+    name: str = "serial"
+
+    def map(self, function, items):
+        return [function(item) for item in items]
+
+
+@dataclass
+class _PoolBackend:
+    """Shared executor-pool plumbing for the thread and process backends."""
+
+    workers: int = 2
+    name: str = "pool"
+    _executor_cls = None
+
+    def map(self, function, items):
+        if self.workers <= 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        pool_size = min(self.workers, len(items))
+        with self._executor_cls(max_workers=pool_size) as pool:
+            return list(pool.map(function, items))
+
+
+@register_backend("threads")
+@dataclass
+class ThreadBackend(_PoolBackend):
+    """``ThreadPoolExecutor`` fan-out (shared memory, subject to the GIL)."""
+
+    name: str = "threads"
+    _executor_cls = ThreadPoolExecutor
+
+
+@register_backend("processes")
+@dataclass
+class ProcessBackend(_PoolBackend):
+    """``ProcessPoolExecutor`` fan-out; functions and items must pickle."""
+
+    name: str = "processes"
+    _executor_cls = ProcessPoolExecutor
+
+
+def resolve_backend(
+    spec: str | ExecutionBackend | None, workers: int = 1
+) -> ExecutionBackend:
+    """Resolve *spec* to a backend instance.
+
+    ``None`` picks the historical default from *workers* (serial for one
+    worker, processes otherwise), a string is looked up in :data:`BACKENDS`
+    and instantiated with ``workers=workers``, and an existing backend
+    instance passes through unchanged.
+    """
+    if spec is None:
+        spec = "serial" if workers <= 1 else "processes"
+    if isinstance(spec, str):
+        try:
+            factory = BACKENDS[spec]
+        except KeyError:
+            raise KeyError(
+                f"no execution backend registered under {spec!r}; "
+                f"known backends: {sorted(BACKENDS)}"
+            ) from None
+        return factory(workers=workers)
+    return spec

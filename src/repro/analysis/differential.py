@@ -1,0 +1,211 @@
+"""Differential-testing trials, sharded through the experiment engine.
+
+The randomized differential suite (``tests/test_differential.py``) checks,
+for dozens of seeded random graphs per class, that the 2-ECSS / 3-ECSS /
+k-ECSS solver outputs are k-edge-connected spanning subgraphs according to
+the *independent* verifiers in :mod:`repro.graphs.connectivity` (networkx
+max-flow, not the algorithms under test), and on small instances differences
+their weight/size against the exact ILP optimum within the paper's
+approximation factors (Theorems 1.1-1.3).
+
+This module packages those checks as trial functions registered in
+:data:`~repro.analysis.experiments.TRIAL_REGISTRY` (names ``"diff-2ecss"``,
+``"diff-3ecss"``, ``"diff-kecss"``) so the suite fans out over the same
+execution backends as the experiments -- serial, threads, processes, or any
+plugged-in backend -- and scales to thousands of instances.  A trial that
+detects a violation raises; the engine captures the traceback per-trial into
+``TrialResult.error`` and the aggregation helpers surface it with the
+offending (config, seed) pair attached.
+
+Instance sizes are derived from ``(config, seed)`` exactly as the historical
+per-seed pytest parametrization did, so every backend sees the same graphs
+and every assertion stays deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.analysis.engine import TrialJob
+from repro.analysis.experiments import register_trial
+from repro.baselines.exact import exact_k_ecss_weight
+from repro.core.k_ecss import k_ecss
+from repro.core.three_ecss import three_ecss
+from repro.core.two_ecss import two_ecss
+from repro.graphs.connectivity import (
+    is_k_edge_connected,
+    subgraph_weight,
+    verify_spanning_subgraph,
+)
+from repro.graphs.generators import (
+    cycle_with_chords,
+    random_k_edge_connected_graph,
+)
+
+__all__ = [
+    "diff_two_ecss_trial",
+    "diff_three_ecss_trial",
+    "diff_k_ecss_trial",
+    "two_ecss_jobs",
+    "three_ecss_jobs",
+    "k_ecss_jobs",
+    "medium_sweep_jobs",
+]
+
+Config = Mapping[str, object]
+
+
+def _verify_solution(graph: nx.Graph, result, k: int) -> None:
+    """Independent verification of one solver output on one instance."""
+    ok, reason = verify_spanning_subgraph(graph, result.edges, k)
+    if not ok:
+        raise AssertionError(f"verifier rejected the subgraph: {reason}")
+    subgraph = nx.Graph()
+    subgraph.add_nodes_from(graph.nodes())
+    subgraph.add_edges_from(result.edges)
+    if not is_k_edge_connected(subgraph, k):
+        raise AssertionError(f"subgraph is not {k}-edge-connected")
+    if result.weight != subgraph_weight(graph, result.edges):
+        raise AssertionError(
+            f"reported weight {result.weight} != recomputed "
+            f"{subgraph_weight(graph, result.edges)}"
+        )
+    # The solver's own verdict must agree with the independent one.
+    own_ok, own_reason = result.verify()
+    if not own_ok:
+        raise AssertionError(f"solver's own verify() disagrees: {own_reason}")
+
+
+def _exact_check(graph: nx.Graph, value: float, k: int, factor: float) -> dict:
+    """Difference *value* against the exact optimum within *factor*."""
+    optimum = exact_k_ecss_weight(graph, k)
+    if not optimum <= value <= factor * optimum:
+        raise AssertionError(
+            f"value {value} outside [optimum, factor*optimum] = "
+            f"[{optimum}, {factor * optimum}] (factor {factor})"
+        )
+    return {"optimum": float(optimum), "ratio": value / optimum, "factor": factor}
+
+
+# ----------------------------------------------------------------- 2-ECSS
+@register_trial("diff-2ecss")
+def diff_two_ecss_trial(config: Config, seed: int) -> dict:
+    """One weighted 2-ECSS differential check; raises on any violation."""
+    family = config["family"]
+    if family == "random":
+        n = 10 + seed % 7
+        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.3, seed=seed)
+    elif family == "cycle-chords":
+        n = 10 + seed % 9
+        graph = cycle_with_chords(n, extra_edges=max(2, n // 4), seed=seed)
+    elif family == "random-exact":
+        n = 10 + seed % 5
+        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.3, seed=seed)
+    elif family == "random-medium":
+        n = 32 + 4 * (seed % 5)
+        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.2, seed=seed)
+    else:
+        raise KeyError(f"unknown diff-2ecss family {family!r}")
+    result = two_ecss(graph, seed=seed, simulate_bfs=False)
+    _verify_solution(graph, result, 2)
+    metrics = {"n": n, "weight": float(result.weight), "edges": result.num_edges}
+    if family == "random-exact":
+        # Theorem 1.1: O(log n) approximation; 2 log2 n is the concrete
+        # factor the benchmarks use (measured ratios stay far below it).
+        metrics.update(_exact_check(graph, result.weight, 2, 2 * math.log2(n)))
+    return metrics
+
+
+# ----------------------------------------------------------------- 3-ECSS
+@register_trial("diff-3ecss")
+def diff_three_ecss_trial(config: Config, seed: int) -> dict:
+    """One unweighted 3-ECSS differential check; raises on any violation."""
+    family = config["family"]
+    if family == "random":
+        n = 10 + seed % 6
+        extra = 0.3
+    elif family == "random-exact":
+        n = 10 + seed % 4
+        extra = 0.3
+    elif family == "random-medium":
+        n = 24 + 4 * (seed % 4)
+        extra = 0.25
+    else:
+        raise KeyError(f"unknown diff-3ecss family {family!r}")
+    graph = random_k_edge_connected_graph(
+        n, 3, extra_edge_prob=extra, weight_range=None, seed=seed
+    )
+    result = three_ecss(graph, seed=seed)
+    _verify_solution(graph, result, 3)
+    metrics = {"n": n, "edges": result.num_edges}
+    if family == "random-exact":
+        # Theorem 1.3: 2-approximation for unweighted 3-ECSS.
+        metrics.update(_exact_check(graph, float(result.num_edges), 3, 2.0))
+    return metrics
+
+
+# ----------------------------------------------------------------- k-ECSS
+@register_trial("diff-kecss")
+def diff_k_ecss_trial(config: Config, seed: int) -> dict:
+    """One weighted k-ECSS differential check; raises on any violation."""
+    family, k = config["family"], config["k"]
+    if family == "random":
+        n = 10 + seed % 4
+    elif family == "random-exact":
+        n = 10 + seed % 3
+    else:
+        raise KeyError(f"unknown diff-kecss family {family!r}")
+    graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)
+    result = k_ecss(graph, k, seed=seed)
+    _verify_solution(graph, result, k)
+    metrics = {"n": n, "weight": float(result.weight), "edges": result.num_edges}
+    if family == "random-exact":
+        # Theorem 1.2: O(k log n) expected approximation; k log2 n is the
+        # concrete ceiling the benchmarks use.
+        metrics.update(_exact_check(graph, result.weight, k, k * math.log2(n)))
+    return metrics
+
+
+# ------------------------------------------------------------- job builders
+def _jobs(experiment: str, family: str, seeds: Sequence[int], **extra) -> list[TrialJob]:
+    return [
+        TrialJob.make(experiment, {"family": family, **extra}, seed, index=seed)
+        for seed in seeds
+    ]
+
+
+def two_ecss_jobs(n_graphs: int = 50, exact_graphs: int = 15) -> list[TrialJob]:
+    """The 2-ECSS differential grid: random + cycle-chords + exact-diffed."""
+    return (
+        _jobs("diff-2ecss", "random", range(n_graphs))
+        + _jobs("diff-2ecss", "cycle-chords", range(n_graphs))
+        + _jobs("diff-2ecss", "random-exact", range(exact_graphs))
+    )
+
+
+def three_ecss_jobs(n_graphs: int = 50, exact_graphs: int = 15) -> list[TrialJob]:
+    """The 3-ECSS differential grid: random + exact-diffed instances."""
+    return (
+        _jobs("diff-3ecss", "random", range(n_graphs))
+        + _jobs("diff-3ecss", "random-exact", range(exact_graphs))
+    )
+
+
+def k_ecss_jobs(n_graphs: int = 50, exact_graphs: int = 15) -> list[TrialJob]:
+    """The k-ECSS differential grid for k in {2, 3} (half the seeds each)."""
+    jobs: list[TrialJob] = []
+    for k in (2, 3):
+        jobs.extend(_jobs("diff-kecss", "random", range(n_graphs // 2), k=k))
+        jobs.extend(_jobs("diff-kecss", "random-exact", range(exact_graphs // 2), k=k))
+    return jobs
+
+
+def medium_sweep_jobs(n_graphs: int = 10) -> dict[str, list[TrialJob]]:
+    """The ``slow``-marked medium-instance sweep, keyed by experiment name."""
+    return {
+        "diff-2ecss": _jobs("diff-2ecss", "random-medium", range(n_graphs)),
+        "diff-3ecss": _jobs("diff-3ecss", "random-medium", range(n_graphs)),
+    }

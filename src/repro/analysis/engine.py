@@ -1,20 +1,31 @@
 """Parallel, cached experiment engine.
 
-The experiments E1..E10 sweep randomized solvers over (configuration, seed)
-grids.  Every trial is described by a picklable :class:`TrialJob` -- the
-experiment name, the configuration (as sorted key/value pairs) and the seed
-derived for that trial -- so the engine can fan trials out over a
-``concurrent.futures.ProcessPoolExecutor`` worker pool and still reassemble
-results in deterministic job order.  Because seeds are derived up front (see
-:func:`repro.analysis.runner.derive_seed`), a parallel run is bit-identical to
-a serial one.
+The experiments E1..E10 (and the sharded differential suite) sweep randomized
+solvers over (configuration, seed) grids.  Every trial is described by a
+picklable :class:`TrialJob` -- the experiment name, the configuration (as
+sorted key/value pairs) and the seed derived for that trial -- so the engine
+can fan trials out over any registered
+:class:`~repro.analysis.backends.ExecutionBackend` (``"serial"``,
+``"threads"``, ``"processes"``, or a plugged-in MPI/ray backend) and still
+reassemble results in deterministic job order.  Because seeds are derived up
+front (see :func:`repro.analysis.runner.derive_seed`), every backend produces
+bit-identical results; only the wall-clock differs.
 
 Results are optionally persisted to an on-disk JSON cache keyed by a stable
-hash of ``(experiment, config, seed, code-version tag)``.  Re-running a sweep
-with a warm cache replays completed trials from disk; trials that failed are
-*not* cached, so a partially failed sweep resumes from where it crashed
-instead of recomputing everything.  Bump :data:`CODE_VERSION` whenever solver
-behaviour changes to invalidate stale entries.
+hash of ``(experiment, config, seed, code-version tag)``.  The code-version
+tag is **derived from SHA-256 hashes of the solver modules the experiment
+depends on** (see :mod:`repro.analysis.code_version`), so editing a solver
+automatically invalidates exactly its stale cache entries -- no hand bumping.
+Metrics that would not survive a JSON round trip are rejected at store time
+(:class:`CacheFidelityError`) rather than silently stringified, so a
+warm-cache replay is metric-identical to the live run.  Trials that failed
+are *not* cached, so a partially failed sweep resumes from where it crashed
+instead of recomputing everything.
+
+Cache lifecycle tooling lives here too: :func:`cache_stats`,
+:func:`cache_gc` (evict entries whose code version no longer matches the
+derived one) and :func:`cache_clear`, surfaced on the command line as
+``kecss cache stats | gc | clear``.
 """
 
 from __future__ import annotations
@@ -22,27 +33,47 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
+from repro.analysis.backends import ExecutionBackend, resolve_backend
+from repro.analysis.code_version import code_version_for
 from repro.analysis.runner import TrialResult, derive_seed
 
 __all__ = [
     "CODE_VERSION",
+    "CacheFidelityError",
     "TrialJob",
     "ExperimentEngine",
     "resolve_trial",
+    "iter_cache_entries",
+    "cache_stats",
+    "cache_gc",
+    "cache_clear",
 ]
 
-# Stamped into every cache key; bump when solver or experiment behaviour
-# changes so stale cached metrics are recomputed rather than replayed.
-CODE_VERSION = "1"
+#: Conservative all-modules code version (every ``repro`` source file hashed).
+#: Experiments that declare their module dependencies get a narrower tag via
+#: :func:`repro.analysis.code_version.code_version_for`.
+CODE_VERSION = code_version_for(None)
 
 TrialFn = Callable[[Mapping[str, object], int], dict]
+
+
+class CacheFidelityError(TypeError):
+    """Raised when trial metrics would not survive a JSON cache round trip.
+
+    Storing such metrics (tuples, int keys, NaN, arbitrary objects) would make
+    a warm-cache replay return *different* values than the live run -- the
+    exact parity bug the cache must never introduce -- so they are rejected
+    at store time instead of silently stringified.
+    """
 
 
 def resolve_trial(trial: TrialFn | str) -> TrialFn:
@@ -50,11 +81,14 @@ def resolve_trial(trial: TrialFn | str) -> TrialFn:
 
     Accepts either a trial function directly or the name of an experiment
     registered in :data:`repro.analysis.experiments.TRIAL_REGISTRY` (e.g.
-    ``"e1"``).  Name-based lookup keeps jobs picklable under any
-    multiprocessing start method.
+    ``"e1"`` or ``"diff-2ecss"``).  Name-based lookup keeps jobs picklable
+    under any multiprocessing start method.
     """
     if callable(trial):
         return trial
+    # Importing the trial modules populates TRIAL_REGISTRY (worker processes
+    # start from a blank registry).
+    import repro.analysis.differential  # noqa: F401
     from repro.analysis.experiments import TRIAL_REGISTRY
 
     try:
@@ -95,8 +129,14 @@ class TrialJob:
     def config_dict(self) -> dict[str, object]:
         return dict(self.config)
 
-    def cache_key(self, code_version: str = CODE_VERSION) -> str:
-        """Stable hash of (experiment, config, seed, code-version tag)."""
+    def cache_key(self, code_version: str | None = None) -> str:
+        """Stable hash of (experiment, config, seed, code-version tag).
+
+        ``None`` derives the tag from the experiment's declared solver
+        modules via :func:`~repro.analysis.code_version.code_version_for`.
+        """
+        if code_version is None:
+            code_version = code_version_for(self.experiment)
         payload = "|".join(
             (self.experiment, code_version, repr(self.config), str(self.seed))
         )
@@ -124,27 +164,35 @@ def _execute_trial(trial: TrialFn | str, job: TrialJob) -> TrialResult:
 
 @dataclass
 class ExperimentEngine:
-    """Runs :class:`TrialJob` batches over a worker pool with an on-disk cache.
+    """Runs :class:`TrialJob` batches over a backend with an on-disk cache.
 
     Attributes:
-        workers: Process-pool size; ``1`` executes in-process (no pool).
+        workers: Fan-out width handed to the backend (``1`` means serial).
+        backend: Execution backend: a registry name (``"serial"``,
+            ``"threads"``, ``"processes"``), an
+            :class:`~repro.analysis.backends.ExecutionBackend` instance, or
+            ``None`` for the historical default (serial for one worker,
+            processes otherwise).
         cache_dir: Directory for the JSON result cache; ``None`` disables
             caching entirely.
         use_cache: Set to ``False`` to bypass the cache even when
             ``cache_dir`` is configured (forces recomputation, still no
             writes).
-        code_version: Tag mixed into every cache key; entries written under a
-            different tag are ignored.
-        stats: Running ``hits`` / ``misses`` / ``failures`` counters across
-            all ``run_jobs`` calls on this engine.
+        code_version: Tag mixed into every cache key; ``None`` (the default)
+            derives it per experiment from the solver-module content hashes.
+        stats: Running ``hits`` / ``misses`` / ``executed`` / ``failures``
+            counters across all ``run_jobs`` calls on this engine.  ``misses``
+            counts cache lookups that missed (always 0 with caching off);
+            ``executed`` counts trials actually run.
     """
 
     workers: int = 1
+    backend: str | ExecutionBackend | None = None
     cache_dir: str | Path | None = None
     use_cache: bool = True
-    code_version: str = CODE_VERSION
+    code_version: str | None = None
     stats: dict[str, int] = field(
-        default_factory=lambda: {"hits": 0, "misses": 0, "failures": 0}
+        default_factory=lambda: {"hits": 0, "misses": 0, "executed": 0, "failures": 0}
     )
 
     # ---------------------------------------------------------------- caching
@@ -152,19 +200,40 @@ class ExperimentEngine:
     def caching(self) -> bool:
         return self.use_cache and self.cache_dir is not None
 
-    def _cache_path(self, job: TrialJob) -> Path:
+    def _job_code_version(
+        self, job: TrialJob, memo: dict[str, str] | None = None
+    ) -> str:
+        """The code-version tag for *job*, memoised per experiment via *memo*.
+
+        Deriving a version walks and stats every declared solver file, so
+        ``run_jobs`` shares one memo across its whole batch instead of paying
+        that per job.
+        """
+        if self.code_version is not None:
+            return self.code_version
+        if memo is None:
+            return code_version_for(job.experiment)
+        if job.experiment not in memo:
+            memo[job.experiment] = code_version_for(job.experiment)
+        return memo[job.experiment]
+
+    def _cache_path(self, job: TrialJob, code_version: str) -> Path:
         return (
             Path(self.cache_dir)
             / job.experiment
-            / f"{job.cache_key(self.code_version)}.json"
+            / f"{job.cache_key(code_version)}.json"
         )
 
-    def _load_cached(self, job: TrialJob) -> TrialResult | None:
+    def _load_cached(
+        self, job: TrialJob, code_version: str
+    ) -> TrialResult | None:
         try:
-            payload = json.loads(self._cache_path(job).read_text())
+            payload = json.loads(self._cache_path(job, code_version).read_text())
         except (OSError, ValueError):
             return None
-        if payload.get("code_version") != self.code_version:
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("code_version") != code_version:
             return None
         if "metrics" not in payload:
             return None
@@ -173,28 +242,52 @@ class ExperimentEngine:
             seed=job.seed,
             metrics=payload["metrics"],
             index=job.index,
+            duration=float(payload.get("duration", 0.0)),
             cached=True,
         )
 
-    def _store(self, job: TrialJob, result: TrialResult) -> None:
+    def _store(self, job: TrialJob, result: TrialResult, code_version: str) -> None:
         if result.error is not None:
             # Failed trials are never cached: a resumed sweep retries them.
             return
-        path = self._cache_path(job)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "experiment": job.experiment,
             "config": job.config_dict,
             "seed": job.seed,
-            "code_version": self.code_version,
+            "code_version": code_version,
+            # "derived" versions can be re-checked against the solver hashes;
+            # explicitly pinned ones cannot, so lifecycle gc must keep them.
+            "code_version_source": (
+                "pinned" if self.code_version is not None else "derived"
+            ),
             "metrics": result.metrics,
             "duration": result.duration,
         }
-        # Unique tmp name: concurrent processes sharing a cache dir may miss
-        # the same key, and a shared tmp path would let one rename the other's
-        # half-written file into place.
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, default=repr))
+        try:
+            encoded = json.dumps(payload)
+        except (TypeError, ValueError) as exc:
+            raise CacheFidelityError(
+                f"{job.experiment!r} trial (config={job.config_dict!r}, "
+                f"seed={job.seed}) produced metrics or config that are not "
+                f"JSON-serializable: {exc}; use plain JSON types (or run with "
+                f"caching disabled)"
+            ) from exc
+        if json.loads(encoded)["metrics"] != result.metrics:
+            raise CacheFidelityError(
+                f"metrics of {job.experiment!r} trial (config={job.config_dict!r}, "
+                f"seed={job.seed}) do not survive a JSON round trip (tuples, "
+                f"non-string keys and NaN all decode differently); a warm-cache "
+                f"replay would differ from the live run"
+            )
+        path = self._cache_path(job, code_version)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique tmp name: concurrent processes/threads sharing a cache dir
+        # may miss the same key, and a shared tmp path would let one rename
+        # the other's half-written file into place.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(encoded)
         tmp.replace(path)
 
     # -------------------------------------------------------------- execution
@@ -209,34 +302,39 @@ class ExperimentEngine:
         :class:`~repro.analysis.runner.TrialFailure` when asked to average
         failed trials, so failures surface instead of silently vanishing.
         """
+        versions: dict[str, str] = {}
         results: list[TrialResult | None] = [None] * len(jobs)
         pending: list[tuple[int, TrialJob]] = []
         for position, job in enumerate(jobs):
-            cached = self._load_cached(job) if self.caching else None
+            cached = (
+                self._load_cached(job, self._job_code_version(job, versions))
+                if self.caching
+                else None
+            )
             if cached is not None:
                 results[position] = cached
                 self.stats["hits"] += 1
             else:
                 pending.append((position, job))
-        self.stats["misses"] += len(pending)
+        if self.caching:
+            self.stats["misses"] += len(pending)
+        self.stats["executed"] += len(pending)
 
         if pending:
-            if self.workers > 1 and len(pending) > 1:
-                pool_size = min(self.workers, len(pending))
-                with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                    executed = list(
-                        pool.map(
-                            _execute_trial,
-                            [trial] * len(pending),
-                            [job for _, job in pending],
-                        )
-                    )
-            else:
-                executed = [_execute_trial(trial, job) for _, job in pending]
+            backend = resolve_backend(self.backend, self.workers)
+            executed = backend.map(
+                partial(_execute_trial, trial), [job for _, job in pending]
+            )
+            if len(executed) != len(pending):
+                raise RuntimeError(
+                    f"backend {backend.name!r} returned {len(executed)} results "
+                    f"for {len(pending)} jobs; backends must return one result "
+                    f"per item, in item order"
+                )
             for (position, job), result in zip(pending, executed):
                 results[position] = result
                 if self.caching:
-                    self._store(job, result)
+                    self._store(job, result, self._job_code_version(job, versions))
 
         self.stats["failures"] += sum(
             1 for result in results if result is not None and result.error is not None
@@ -267,11 +365,154 @@ class ExperimentEngine:
     # ------------------------------------------------------------- reporting
     def summary(self) -> str:
         """One-line account of cache hits, executed trials and failures."""
-        mode = f"workers={self.workers}"
+        backend = resolve_backend(self.backend, self.workers)
+        mode = f"backend={backend.name}, workers={self.workers}"
         cache = (
             f"cache={Path(self.cache_dir)}" if self.caching else "cache=off"
         )
         return (
-            f"engine: {self.stats['hits']} cached, {self.stats['misses']} executed, "
+            f"engine: {self.stats['hits']} cached, {self.stats['executed']} executed, "
             f"{self.stats['failures']} failed ({mode}, {cache})"
         )
+
+
+# ----------------------------------------------------------- cache lifecycle
+#: Cache entries are named ``<sha256 hex>.json`` by ``_cache_path``; lifecycle
+#: operations only ever touch files matching this shape, so pointing
+#: ``--cache-dir`` at a directory that also holds unrelated JSON cannot
+#: destroy it.
+_ENTRY_NAME = re.compile(r"^[0-9a-f]{64}$")
+
+#: Half-written entries left by a crashed writer: ``<key>.json.<pid>.<tid>.tmp``
+#: (see ``ExperimentEngine._store``).  Never replayed, but gc/clear reclaim them.
+_TMP_NAME = re.compile(r"^[0-9a-f]{64}\.json\.\d+\.\d+\.tmp$")
+
+
+def _orphan_tmp_files(cache_dir: str | Path) -> list[Path]:
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return []
+    return sorted(
+        path for path in root.rglob("*.tmp") if _TMP_NAME.match(path.name)
+    )
+
+
+def iter_cache_entries(
+    cache_dir: str | Path,
+) -> Iterator[tuple[Path, dict | None]]:
+    """Yield ``(path, payload)`` for every cache entry under *cache_dir*.
+
+    Only files named like engine-written entries (``<sha256>.json``) are
+    yielded.  ``payload`` is ``None`` for entries that fail to parse as JSON
+    (corrupt or half-written files).
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return
+    for path in sorted(root.rglob("*.json")):
+        if not _ENTRY_NAME.match(path.stem):
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            payload = None
+        if payload is not None and not isinstance(payload, dict):
+            payload = None
+        yield path, payload
+
+
+def _entry_experiment(path: Path, payload: dict | None) -> str:
+    if payload and isinstance(payload.get("experiment"), str):
+        return payload["experiment"]
+    return path.parent.name
+
+
+def _entry_is_stale(
+    path: Path, payload: dict | None, versions: dict[str, str | None]
+) -> bool:
+    """An entry is stale when corrupt or written under an outdated code version.
+
+    *versions* memoises the derived code version per experiment so a sweep
+    over thousands of entries hashes each experiment's modules once.
+    """
+    if payload is None:
+        return True
+    if payload.get("code_version_source") == "pinned":
+        # Written under an explicit ExperimentEngine.code_version; there is
+        # no derived hash to re-check it against, so gc must not touch it.
+        return False
+    experiment = _entry_experiment(path, payload)
+    if experiment not in versions:
+        try:
+            versions[experiment] = code_version_for(experiment)
+        except ModuleNotFoundError:
+            # A dependency module vanished: entries can never be validated.
+            versions[experiment] = None
+    current = versions[experiment]
+    return current is None or payload.get("code_version") != current
+
+
+def cache_stats(cache_dir: str | Path) -> dict[str, dict[str, int]]:
+    """Per-experiment cache accounting: entries, stale entries, orphaned
+    tmp files (crashed writers) and bytes."""
+    stats: dict[str, dict[str, int]] = {}
+
+    def bucket_for(experiment: str) -> dict[str, int]:
+        return stats.setdefault(
+            experiment, {"entries": 0, "stale": 0, "tmp": 0, "bytes": 0}
+        )
+
+    versions: dict[str, str | None] = {}
+    for path, payload in iter_cache_entries(cache_dir):
+        bucket = bucket_for(_entry_experiment(path, payload))
+        bucket["entries"] += 1
+        bucket["bytes"] += path.stat().st_size
+        if _entry_is_stale(path, payload, versions):
+            bucket["stale"] += 1
+    for path in _orphan_tmp_files(cache_dir):
+        bucket = bucket_for(path.parent.name)
+        bucket["tmp"] += 1
+        bucket["bytes"] += path.stat().st_size
+    return stats
+
+
+def _remove_entry(path: Path) -> None:
+    path.unlink(missing_ok=True)
+    parent = path.parent
+    if parent.is_dir() and not any(parent.iterdir()):
+        parent.rmdir()
+
+
+def cache_gc(cache_dir: str | Path) -> list[Path]:
+    """Evict stale cache entries; entries at the current code version survive.
+
+    Stale means the stored code version no longer matches the one derived
+    from the experiment's solver modules (or the entry is corrupt); entries
+    written under an explicitly pinned ``code_version`` are kept, since there
+    is nothing to re-derive for them.  Orphaned ``*.tmp`` files left by
+    crashed writers are reclaimed too, so do not run gc concurrently with an
+    active sweep on the same cache directory.  Returns the paths removed.
+    """
+    removed: list[Path] = []
+    versions: dict[str, str | None] = {}
+    for path, payload in iter_cache_entries(cache_dir):
+        if _entry_is_stale(path, payload, versions):
+            _remove_entry(path)
+            removed.append(path)
+    for path in _orphan_tmp_files(cache_dir):
+        _remove_entry(path)
+        removed.append(path)
+    return removed
+
+
+def cache_clear(cache_dir: str | Path) -> int:
+    """Remove every cache entry (and orphaned tmp file) under *cache_dir*;
+    returns the count removed."""
+    removed = 0
+    for path, _payload in iter_cache_entries(cache_dir):
+        _remove_entry(path)
+        removed += 1
+    for path in _orphan_tmp_files(cache_dir):
+        _remove_entry(path)
+        removed += 1
+    return removed

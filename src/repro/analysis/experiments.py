@@ -29,6 +29,7 @@ import functools
 import math
 from typing import Callable, Mapping, Sequence
 
+from repro.analysis.code_version import declare_modules
 from repro.analysis.engine import ExperimentEngine, TrialJob
 from repro.analysis.runner import derive_seed
 from repro.analysis.tables import Table, metric_max, metric_mean, trial_groups
@@ -76,11 +77,19 @@ Config = Mapping[str, object]
 TRIAL_REGISTRY: dict[str, Callable[[Config, int], dict]] = {}
 
 
-def register_trial(name: str):
-    """Register the decorated function as the trial function of experiment *name*."""
+def register_trial(name: str, modules: Sequence[str] | None = None):
+    """Register the decorated function as the trial function of experiment *name*.
+
+    *modules* declares the solver modules/packages the trial depends on; the
+    engine derives the experiment's cache code-version from their content
+    hashes (see :mod:`repro.analysis.code_version`).  Omitting it falls back
+    to the conservative default of hashing every ``repro`` module, which can
+    over-invalidate but never replays stale results.
+    """
 
     def decorate(function):
         TRIAL_REGISTRY[name] = function
+        declare_modules(name, tuple(modules) if modules is not None else None)
         return function
 
     return decorate
@@ -213,7 +222,18 @@ def experiment_e2_two_ecss_rounds(
 
 
 # --------------------------------------------------------------------------- E3
-@register_trial("e3")
+@register_trial(
+    "e3",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.tap",
+        "repro.mst",
+        "repro.trees",
+        "repro.graphs",
+        "repro.congest",
+        "repro.core.cost_effectiveness",
+    ),
+)
 def e3_trial(config: Config, seed: int) -> dict:
     graph = random_k_edge_connected_graph(
         config["n"], 2, extra_edge_prob=0.2, seed=seed
@@ -365,7 +385,17 @@ def experiment_e5_three_ecss_rounds(
 
 
 # --------------------------------------------------------------------------- E6
-@register_trial("e6")
+@register_trial(
+    "e6",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.mst",
+        "repro.decomposition",
+        "repro.trees",
+        "repro.graphs",
+        "repro.congest",
+    ),
+)
 def e6_trial(config: Config, seed: int) -> dict:
     n = config["n"]
     graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=3.0 / n, seed=seed)
@@ -423,7 +453,16 @@ def _e7_instance(n: int):
     return graph, exact_cut_pairs(graph)
 
 
-@register_trial("e7")
+@register_trial(
+    "e7",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.analysis.runner",
+        "repro.cycle_space",
+        "repro.graphs",
+        "repro.trees",
+    ),
+)
 def e7_trial(config: Config, seed: int) -> dict:
     graph, truth = _e7_instance(config["n"])
     labelling = compute_labels(graph, bits=config["bits"], seed=seed)

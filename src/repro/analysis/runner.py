@@ -58,7 +58,9 @@ class TrialResult:
         error: ``None`` on success; the formatted traceback when the trial
             raised.
         index: Trial index within its configuration.
-        duration: Wall-clock seconds the trial took (0 for cache replays).
+        duration: Wall-clock seconds the original computation took.  Cache
+            replays restore the persisted compute duration; use ``cached`` to
+            distinguish replay time from compute time.
         cached: ``True`` when the result was replayed from the on-disk cache.
     """
 
@@ -154,6 +156,12 @@ class ExperimentRunner:
     ) -> dict[object, dict[str, float]]:
         """Group results by *key* and average each metric within a group.
 
+        Metrics are aggregated over the **union** of metric keys recorded by
+        the trials in each group; a metric missing from some trial of a group
+        raises :class:`TrialFailure` naming the metric and an offending trial
+        (it used to raise a bare ``KeyError`` or silently drop metrics that
+        the group's first trial happened not to record).
+
         Raises :class:`TrialFailure` if any result carries an error, unless
         ``skip_failures`` is set (in which case failed trials are excluded
         from every group).
@@ -161,9 +169,22 @@ class ExperimentRunner:
         grouped = trial_groups(results, key, skip_failures=skip_failures)
         aggregated: dict[object, dict[str, float]] = {}
         for group_key, group in grouped.items():
-            metric_names = group[0].metrics.keys()
-            aggregated[group_key] = {
-                name: statistics.fmean(r.metrics[name] for r in group)
-                for name in metric_names
-            }
+            metric_names: list[str] = []
+            for result in group:
+                for name in result.metrics:
+                    if name not in metric_names:
+                        metric_names.append(name)
+            values: dict[str, float] = {}
+            for name in metric_names:
+                missing = [r for r in group if name not in r.metrics]
+                if missing:
+                    raise TrialFailure(
+                        f"metric {name!r} is missing from {len(missing)} of "
+                        f"{len(group)} trial(s) in group {group_key!r} (e.g. "
+                        f"config={dict(missing[0].config)!r} seed="
+                        f"{missing[0].seed}); trials in a group must record "
+                        f"comparable metric keys"
+                    )
+                values[name] = statistics.fmean(r.metrics[name] for r in group)
+            aggregated[group_key] = values
         return aggregated

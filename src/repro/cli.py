@@ -1,17 +1,27 @@
-"""Command line interface: ``kecss solve | verify | experiment | families``.
+"""Command line interface: ``kecss solve | verify | experiment | cache | families``.
 
 Examples::
 
     kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
     kecss experiment e3
-    kecss experiment e1 --workers 4 --cache-dir .repro-cache
+    kecss experiment e1 --workers 4 --backend threads --cache-dir .repro-cache
+    kecss cache stats --cache-dir .repro-cache
+    kecss cache gc --cache-dir .repro-cache
     kecss families
 
 The ``experiment`` subcommand runs through the parallel cached
 :class:`~repro.analysis.engine.ExperimentEngine`: ``--workers N`` fans trials
-out over N worker processes (aggregates are bit-identical to a serial run),
-``--cache-dir`` persists per-trial results so re-runs and partially failed
-sweeps resume from disk, and ``--no-cache`` forces recomputation.
+out over N workers on the execution backend picked with ``--backend``
+(``serial`` | ``threads`` | ``processes``; aggregates are bit-identical on
+every backend), ``--cache-dir`` persists per-trial results so re-runs and
+partially failed sweeps resume from disk, and ``--no-cache`` forces
+recomputation.
+
+The ``cache`` subcommand manages that on-disk trial cache: ``stats`` prints
+per-experiment entry/stale/byte counts, ``gc`` evicts entries whose stored
+code version no longer matches the one derived from the solver-module
+content hashes (i.e. results computed by since-edited code), and ``clear``
+removes every entry.
 """
 
 from __future__ import annotations
@@ -23,7 +33,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import experiments as experiment_module
-from repro.analysis.engine import ExperimentEngine
+from repro.analysis.backends import BACKENDS
+from repro.analysis.engine import (
+    ExperimentEngine,
+    cache_clear,
+    cache_gc,
+    cache_stats,
+)
+from repro.analysis.tables import Table
 from repro.core.k_ecss import k_ecss
 from repro.core.three_ecss import three_ecss
 from repro.core.two_ecss import two_ecss
@@ -72,11 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=["all", *sorted(_EXPERIMENTS)])
     experiment.add_argument("--markdown", action="store_true", help="emit Markdown tables")
     experiment.add_argument("--workers", type=int, default=1,
-                            help="worker processes for trial fan-out (default: 1, serial)")
+                            help="worker count for trial fan-out (default: 1, serial)")
+    experiment.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+                            help="execution backend (default: serial for 1 worker, "
+                                 "processes otherwise)")
     experiment.add_argument("--cache-dir", default=None,
                             help="directory for the on-disk trial cache (default: caching off)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="ignore the cache even when --cache-dir is set")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clean the on-disk trial cache"
+    )
+    cache.add_argument("action", choices=["stats", "gc", "clear"],
+                       help="stats: per-experiment counts; gc: evict entries with "
+                            "stale code versions; clear: remove everything")
+    cache.add_argument("--cache-dir", required=True,
+                       help="the trial-cache directory to operate on")
 
     subparsers.add_parser("families", help="list the registered graph families")
     return parser
@@ -148,13 +177,14 @@ def _experiment(args: argparse.Namespace) -> int:
             f"vs --id {args.experiment_id!r}"
         )
     experiment_id = args.positional_id or args.experiment_id or "all"
-    if args.cache_dir is not None:
+    if args.cache_dir is not None and not args.no_cache:
         try:
             Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise SystemExit(f"cannot create cache dir {args.cache_dir!r}: {exc}")
     engine = ExperimentEngine(
         workers=args.workers,
+        backend=args.backend,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
@@ -166,6 +196,41 @@ def _experiment(args: argparse.Namespace) -> int:
         print(table.to_markdown() if args.markdown else table.to_text())
         print()
     print(engine.summary(), file=sys.stderr)
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    cache_dir = Path(args.cache_dir)
+    if not cache_dir.is_dir():
+        print(f"no cache directory at {cache_dir}")
+        return 0
+    if args.action == "stats":
+        stats = cache_stats(cache_dir)
+        if not stats:
+            print(f"cache at {cache_dir} is empty")
+            return 0
+        table = Table(
+            title=f"trial cache at {cache_dir}",
+            columns=["experiment", "entries", "stale", "tmp", "bytes"],
+        )
+        for experiment in sorted(stats):
+            bucket = stats[experiment]
+            table.add_row(
+                experiment, bucket["entries"], bucket["stale"], bucket["tmp"],
+                bucket["bytes"],
+            )
+        table.add_note(
+            "stale = stored code version no longer matches the hash derived "
+            "from the experiment's solver modules; evict with 'kecss cache gc'"
+        )
+        print(table.to_text())
+    elif args.action == "gc":
+        removed = cache_gc(cache_dir)
+        print(f"evicted {len(removed)} stale entr{'y' if len(removed) == 1 else 'ies'} "
+              f"from {cache_dir}")
+    else:  # clear
+        removed = cache_clear(cache_dir)
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} from {cache_dir}")
     return 0
 
 
@@ -185,6 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": _solve,
         "verify": _verify,
         "experiment": _experiment,
+        "cache": _cache,
         "families": _families,
     }
     return handlers[args.command](args)

@@ -1,0 +1,314 @@
+"""Tests for the pluggable execution backends and the content-hash cache
+lifecycle.
+
+Covers the backend registry (lookup, errors, third-party registration), the
+determinism guarantee (serial == threads == processes on golden seeds, both
+for synthetic trials and for a real experiment table), the solver-module
+derived code versions, and ``cache gc`` evicting exactly the stale-version
+entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.backends import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    register_backend,
+    resolve_backend,
+)
+from repro.analysis.code_version import (
+    MODULE_DEPENDENCIES,
+    code_version_for,
+    declare_modules,
+    module_files,
+)
+from repro.analysis.engine import (
+    CODE_VERSION,
+    ExperimentEngine,
+    TrialJob,
+    cache_clear,
+    cache_gc,
+    cache_stats,
+)
+from repro.analysis.experiments import (
+    TRIAL_REGISTRY,
+    experiment_e1_two_ecss_approximation,
+)
+from repro.analysis.runner import derive_seed
+
+
+def _value_trial(config, seed):
+    return {"value": config["x"] * 10 + (seed % 7)}
+
+
+def _jobs(trial_name, xs, trials=2):
+    return [
+        TrialJob.make(trial_name, {"x": x}, derive_seed(trial_name, x, t), t)
+        for x in xs
+        for t in range(trials)
+    ]
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert {"serial", "threads", "processes"} <= set(BACKENDS)
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        threads = resolve_backend("threads", workers=3)
+        assert isinstance(threads, ThreadBackend) and threads.workers == 3
+        assert isinstance(resolve_backend("processes", workers=2), ProcessBackend)
+
+    def test_resolve_none_matches_historical_default(self):
+        assert isinstance(resolve_backend(None, workers=1), SerialBackend)
+        assert isinstance(resolve_backend(None, workers=4), ProcessBackend)
+
+    def test_resolve_passes_instances_through(self):
+        backend = ThreadBackend(workers=2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises_with_known_backends_listed(self):
+        with pytest.raises(KeyError, match="no execution backend.*serial"):
+            resolve_backend("mpi")
+
+    def test_engine_surfaces_unknown_backend(self):
+        engine = ExperimentEngine(backend="ray")
+        with pytest.raises(KeyError, match="no execution backend"):
+            engine.run_jobs(_value_trial, _jobs("unit", (1,), trials=1))
+
+    def test_backend_returning_short_results_is_a_loud_error(self):
+        """A buggy plugged-in backend must not silently drop trials."""
+
+        class ShortBackend:
+            name = "short"
+            workers = 1
+
+            def map(self, function, items):
+                return [function(item) for item in items[:-1]]
+
+        engine = ExperimentEngine(backend=ShortBackend())
+        with pytest.raises(RuntimeError, match="one result per item"):
+            engine.run_jobs(_value_trial, _jobs("unit", (1, 2)))
+
+    def test_third_party_backend_plugs_in_by_name(self):
+        calls = []
+
+        @register_backend("recording")
+        class RecordingBackend:
+            def __init__(self, workers=1):
+                self.workers = workers
+                self.name = "recording"
+
+            def map(self, function, items):
+                calls.append(len(items))
+                return [function(item) for item in items]
+
+        try:
+            engine = ExperimentEngine(backend="recording", workers=5)
+            results = engine.run_jobs(_value_trial, _jobs("unit", (1, 2)))
+            assert calls == [4]
+            assert len(results) == 4
+            assert "backend=recording" in engine.summary()
+        finally:
+            BACKENDS.pop("recording", None)
+
+
+class TestBackendParity:
+    """Bit-identical results on every backend, for synthetic and real trials."""
+
+    def test_synthetic_trials_identical_across_backends(self):
+        jobs = _jobs("unit", (1, 2, 3, 4), trials=3)
+        outcomes = {
+            name: ExperimentEngine(workers=4, backend=name).run_jobs(
+                _value_trial, jobs
+            )
+            for name in ("serial", "threads", "processes")
+        }
+        baseline = [(r.config, r.seed, r.metrics) for r in outcomes["serial"]]
+        for name, results in outcomes.items():
+            assert [(r.config, r.seed, r.metrics) for r in results] == baseline, name
+
+    def test_e1_table_identical_across_backends(self):
+        tables = [
+            experiment_e1_two_ecss_approximation(
+                sizes=(12,),
+                trials=2,
+                engine=ExperimentEngine(workers=2, backend=name),
+            )
+            for name in ("serial", "threads", "processes")
+        ]
+        assert tables[0].rows == tables[1].rows == tables[2].rows
+
+
+class TestCodeVersion:
+    def test_default_is_the_all_modules_hash(self):
+        assert code_version_for(None) == CODE_VERSION
+        assert code_version_for("never-declared") == CODE_VERSION
+        assert isinstance(CODE_VERSION, str) and CODE_VERSION
+
+    def test_declared_experiments_get_a_narrower_version(self):
+        # e3/e6/e7 declare their solver modules; their tags differ from the
+        # all-modules default and from each other.
+        versions = {code_version_for(name) for name in ("e3", "e6", "e7")}
+        assert len(versions) == 3
+        assert CODE_VERSION not in versions
+
+    def test_versions_are_stable_across_calls(self):
+        assert code_version_for("e3") == code_version_for("e3")
+        assert code_version_for(None) == code_version_for(None)
+
+    def test_module_files_expands_packages(self):
+        package_files = module_files("repro.tap")
+        assert len(package_files) >= 3
+        (single,) = module_files("repro.tap.cover")
+        assert single in package_files
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            module_files("repro.no_such_module")
+
+
+@pytest.fixture
+def fake_solver(tmp_path, monkeypatch):
+    """A temp solver module + a registered trial declaring it, cleaned up after."""
+    solver = tmp_path / "fake_solver_mod.py"
+    solver.write_text("VALUE = 1\n")
+    monkeypatch.syspath_prepend(str(tmp_path))
+
+    def fake_trial(config, seed):
+        return {"value": float(config["x"])}
+
+    TRIAL_REGISTRY["fake-exp"] = fake_trial
+    declare_modules("fake-exp", ("fake_solver_mod",))
+    yield solver
+    TRIAL_REGISTRY.pop("fake-exp", None)
+    MODULE_DEPENDENCIES.pop("fake-exp", None)
+
+
+class TestCacheLifecycle:
+    def test_editing_a_solver_module_changes_the_derived_version(self, fake_solver):
+        # Edits change the file size: the digest cache is keyed on the stat
+        # stamp, and same-size rewrites within one timestamp tick would reuse
+        # the old digest (a non-issue for real editing cadences).
+        before = code_version_for("fake-exp")
+        fake_solver.write_text("VALUE = 22  # edited\n")
+        after = code_version_for("fake-exp")
+        assert before != after
+        fake_solver.write_text("VALUE = 1\n")
+        assert code_version_for("fake-exp") == before
+
+    def test_gc_evicts_exactly_the_stale_version_entries(self, fake_solver, tmp_path):
+        cache_dir = tmp_path / "cache"
+        engine = ExperimentEngine(cache_dir=cache_dir)
+        engine.run_jobs("fake-exp", _jobs("fake-exp", (1, 2), trials=1))
+        engine.run_jobs(_value_trial, _jobs("unit", (1, 2), trials=1))
+        assert len(list(cache_dir.rglob("*.json"))) == 4
+        # Nothing is stale yet, so gc is a no-op.
+        assert cache_gc(cache_dir) == []
+
+        # Editing the fake solver outdates only fake-exp's entries.
+        fake_solver.write_text("VALUE = 99\n")
+        stats = cache_stats(cache_dir)
+        assert stats["fake-exp"]["stale"] == 2
+        assert stats["unit"]["stale"] == 0
+        removed = cache_gc(cache_dir)
+        assert len(removed) == 2
+        assert all(path.parent.name == "fake-exp" for path in removed)
+        remaining = list(cache_dir.rglob("*.json"))
+        assert len(remaining) == 2
+        assert all(path.parent.name == "unit" for path in remaining)
+
+    def test_stale_entries_miss_and_rerun_under_the_new_version(self, fake_solver, tmp_path):
+        cache_dir = tmp_path / "cache"
+        jobs = _jobs("fake-exp", (1,), trials=1)
+        ExperimentEngine(cache_dir=cache_dir).run_jobs("fake-exp", jobs)
+        fake_solver.write_text("VALUE = 777\n")
+        rerun = ExperimentEngine(cache_dir=cache_dir)
+        rerun.run_jobs("fake-exp", jobs)
+        assert rerun.stats["hits"] == 0 and rerun.stats["misses"] == 1
+
+    def test_gc_removes_corrupt_entries(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        ExperimentEngine(cache_dir=cache_dir).run_jobs(
+            _value_trial, _jobs("unit", (1,), trials=1)
+        )
+        corrupt = cache_dir / "unit" / ("ab" * 32 + ".json")
+        corrupt.write_text("{not json")
+        removed = cache_gc(cache_dir)
+        assert removed == [corrupt]
+
+    def test_lifecycle_never_touches_foreign_json_files(self, tmp_path):
+        """``--cache-dir .`` by mistake must not destroy unrelated JSON:
+        lifecycle operations only consider engine-named ``<sha256>.json``
+        entries."""
+        cache_dir = tmp_path / "cache"
+        ExperimentEngine(cache_dir=cache_dir).run_jobs(
+            _value_trial, _jobs("unit", (1,), trials=1)
+        )
+        foreign = cache_dir / "package.json"
+        foreign.write_text('{"name": "not-a-cache-entry"}')
+        nested = cache_dir / "unit" / "notes.json"
+        nested.write_text("[1, 2, 3]")
+        assert "package" not in cache_stats(cache_dir)
+        assert cache_gc(cache_dir) == []
+        assert cache_clear(cache_dir) == 1
+        assert foreign.exists() and nested.exists()
+
+    def test_gc_keeps_entries_written_under_a_pinned_code_version(self, tmp_path):
+        """Entries stored by an engine with an explicit ``code_version`` have
+        no derived hash to re-check against, so gc must not evict them."""
+        cache_dir = tmp_path / "cache"
+        pinned = ExperimentEngine(cache_dir=cache_dir, code_version="v-pinned")
+        jobs = _jobs("unit", (1,), trials=1)
+        pinned.run_jobs(_value_trial, jobs)
+        assert cache_stats(cache_dir)["unit"]["stale"] == 0
+        assert cache_gc(cache_dir) == []
+        # The pinned engine still replays its own entries afterwards.
+        replay = ExperimentEngine(cache_dir=cache_dir, code_version="v-pinned")
+        replay.run_jobs(_value_trial, jobs)
+        assert replay.stats["hits"] == 1
+
+    def test_gc_and_clear_reclaim_orphaned_tmp_files(self, tmp_path):
+        """A writer killed between write and rename leaks '<key>.json.<pid>.<tid>.tmp'."""
+        cache_dir = tmp_path / "cache"
+        ExperimentEngine(cache_dir=cache_dir).run_jobs(
+            _value_trial, _jobs("unit", (1,), trials=1)
+        )
+        orphan = cache_dir / "unit" / ("cd" * 32 + ".json.123.456.tmp")
+        orphan.write_text("{half written")
+        stats = cache_stats(cache_dir)
+        assert stats["unit"]["tmp"] == 1
+        assert cache_gc(cache_dir) == [orphan]
+        orphan.write_text("{half written")
+        assert cache_clear(cache_dir) == 2
+        assert not orphan.exists()
+
+    def test_valid_but_non_object_json_entry_is_a_miss_not_a_crash(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        jobs = _jobs("unit", (1,), trials=1)
+        ExperimentEngine(cache_dir=cache_dir).run_jobs(_value_trial, jobs)
+        (entry,) = list(cache_dir.rglob("*.json"))
+        entry.write_text("[1, 2, 3]")
+        engine = ExperimentEngine(cache_dir=cache_dir)
+        results = engine.run_jobs(_value_trial, jobs)
+        assert engine.stats == {"hits": 0, "misses": 1, "executed": 1, "failures": 0}
+        assert results[0].ok and not results[0].cached
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        ExperimentEngine(cache_dir=cache_dir).run_jobs(
+            _value_trial, _jobs("unit", (1, 2), trials=2)
+        )
+        assert cache_clear(cache_dir) == 4
+        assert not list(cache_dir.rglob("*.json"))
+        assert cache_stats(cache_dir) == {}
+
+    def test_lifecycle_helpers_tolerate_missing_directories(self, tmp_path):
+        missing = tmp_path / "nope"
+        assert cache_stats(missing) == {}
+        assert cache_gc(missing) == []
+        assert cache_clear(missing) == 0

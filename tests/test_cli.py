@@ -91,3 +91,65 @@ class TestExperimentCommand:
         code = main(["experiment", "--id", "e7", "--markdown"])
         assert code == 0
         assert "|" in capsys.readouterr().out
+
+    def test_backend_flag_runs_through_named_backend(self, capsys):
+        code = main(["experiment", "--id", "e7", "--backend", "threads",
+                     "--workers", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "E7" in captured.out
+        assert "backend=threads" in captured.err
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "--id", "e7",
+                                       "--backend", "mpi"])
+
+    def test_no_cache_does_not_create_the_cache_dir(self, tmp_path, capsys):
+        cache_dir = tmp_path / "never-created"
+        code = main(["experiment", "--id", "e7", "--cache-dir", str(cache_dir),
+                     "--no-cache"])
+        assert code == 0
+        assert not cache_dir.exists()
+
+    def test_cache_dir_is_created_and_populated(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(["experiment", "--id", "e7", "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert list(cache_dir.rglob("*.json"))
+
+
+class TestCacheCommand:
+    def _populate(self, cache_dir):
+        main(["experiment", "--id", "e7", "--cache-dir", str(cache_dir)])
+
+    def test_stats_lists_per_experiment_entries(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "e7" in output and "entries" in output and "stale" in output
+
+    def test_gc_on_a_fresh_cache_evicts_nothing(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        entries = len(list(cache_dir.rglob("*.json")))
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(cache_dir)]) == 0
+        assert "evicted 0" in capsys.readouterr().out
+        assert len(list(cache_dir.rglob("*.json"))) == entries
+
+    def test_clear_removes_every_entry(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        self._populate(cache_dir)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert not list(cache_dir.rglob("*.json"))
+
+    def test_missing_cache_dir_is_not_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        for action in ("stats", "gc", "clear"):
+            assert main(["cache", action, "--cache-dir", str(missing)]) == 0
+        assert "no cache directory" in capsys.readouterr().out

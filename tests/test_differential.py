@@ -1,4 +1,4 @@
-"""Randomized differential tests: solvers vs independent verifiers and exact baselines.
+"""Randomized differential tests, sharded through the experiment engine.
 
 For ~50 seeded random graphs per class, the 2-ECSS / 3-ECSS / k-ECSS solver
 outputs are checked to be k-edge-connected spanning subgraphs through the
@@ -7,137 +7,117 @@ not the algorithms under test), and on small instances their weight/size is
 differenced against the exact ILP optimum from :mod:`repro.baselines.exact`
 within the paper's approximation factors (Theorems 1.1-1.3).
 
-Seeds are fixed, so every assertion here is deterministic; a ``slow``-marked
-sweep extends the same checks to larger instances.
+The checks themselves live in :mod:`repro.analysis.differential` as trial
+functions registered with the engine, so the suite fans out over the same
+execution backends as the experiments (and scales to thousands of instances
+by raising the job counts).  A violated invariant raises inside the trial;
+the engine captures it per-(config, seed) and ``trial_groups`` re-raises it
+here with the offending instance attached, so a failure pinpoints the graph
+that broke.
+
+Seeds are fixed, so every assertion is deterministic on every backend; a
+``slow``-marked sweep extends the same checks to larger instances.
 """
 
 from __future__ import annotations
 
-import math
-
-import networkx as nx
 import pytest
 
-from repro.baselines.exact import exact_k_ecss_weight
-from repro.core.k_ecss import k_ecss
-from repro.core.three_ecss import three_ecss
-from repro.core.two_ecss import two_ecss
-from repro.graphs.connectivity import (
-    is_k_edge_connected,
-    subgraph_weight,
-    verify_spanning_subgraph,
+from repro.analysis.differential import (
+    k_ecss_jobs,
+    medium_sweep_jobs,
+    three_ecss_jobs,
+    two_ecss_jobs,
 )
-from repro.graphs.generators import (
-    cycle_with_chords,
-    random_k_edge_connected_graph,
-)
+from repro.analysis.engine import ExperimentEngine
+from repro.analysis.runner import trial_groups
 
 N_GRAPHS = 50
 EXACT_GRAPHS = 15
 
+#: The full-size sweeps run once through the threads backend: it exercises
+#: the concurrent engine path on every default test run without paying
+#: process start-up for sub-millisecond trials.
+SWEEP_BACKEND = "threads"
+SWEEP_WORKERS = 4
 
-def _as_subgraph(graph: nx.Graph, edges) -> nx.Graph:
-    subgraph = nx.Graph()
-    subgraph.add_nodes_from(graph.nodes())
-    subgraph.add_edges_from(edges)
-    return subgraph
+
+def _run(experiment: str, jobs, backend=SWEEP_BACKEND, workers=SWEEP_WORKERS):
+    """Run a differential batch; raises TrialFailure listing any violations."""
+    engine = ExperimentEngine(workers=workers, backend=backend)
+    results = engine.run_jobs(experiment, jobs)
+    # Any trial that raised (verifier rejection, approximation bound breach)
+    # surfaces here with its (config, seed) pair and traceback.
+    trial_groups(results, key=lambda r: r.config["family"])
+    return results
 
 
-def _check_solution(graph, result, k):
-    """Independent verification of one solver output on one instance."""
-    ok, reason = verify_spanning_subgraph(graph, result.edges, k)
-    assert ok, reason
-    assert is_k_edge_connected(_as_subgraph(graph, result.edges), k)
-    assert result.weight == subgraph_weight(graph, result.edges)
-    # The solver's own verdict must agree with the independent one.
-    assert result.verify()[0]
+def _exact_results(results):
+    exact = [r for r in results if str(r.config["family"]).endswith("-exact")]
+    assert exact, "sweep contained no exact-diffed instances"
+    return exact
 
 
 class TestTwoEcssDifferential:
-    @pytest.mark.parametrize("seed", range(N_GRAPHS))
-    def test_weighted_random_graphs_are_two_edge_connected(self, seed):
-        n = 10 + (seed % 7)
-        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.3, seed=seed)
-        result = two_ecss(graph, seed=seed, simulate_bfs=False)
-        _check_solution(graph, result, 2)
-
-    @pytest.mark.parametrize("seed", range(N_GRAPHS))
-    def test_cycle_with_chords_graphs_are_two_edge_connected(self, seed):
-        n = 10 + (seed % 9)
-        graph = cycle_with_chords(n, extra_edges=max(2, n // 4), seed=seed)
-        result = two_ecss(graph, seed=seed, simulate_bfs=False)
-        _check_solution(graph, result, 2)
-
-    @pytest.mark.parametrize("seed", range(EXACT_GRAPHS))
-    def test_weight_within_paper_factor_of_exact_optimum(self, seed):
-        n = 10 + (seed % 5)
-        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.3, seed=seed)
-        result = two_ecss(graph, seed=seed, simulate_bfs=False)
-        optimum = exact_k_ecss_weight(graph, 2)
-        # Theorem 1.1: O(log n) approximation; 2 log2 n is the factor the
-        # benchmarks use (measured ratios stay far below it).
-        assert optimum <= result.weight <= 2 * math.log2(n) * optimum
+    def test_sweep_is_two_edge_connected_and_within_paper_factor(self):
+        results = _run("diff-2ecss", two_ecss_jobs(N_GRAPHS, EXACT_GRAPHS))
+        assert len(results) == 2 * N_GRAPHS + EXACT_GRAPHS
+        for result in _exact_results(results):
+            # Theorem 1.1: within the 2 log2 n ceiling of the exact optimum.
+            assert 1.0 <= result.metrics["ratio"] <= result.metrics["factor"]
 
 
 class TestThreeEcssDifferential:
-    @pytest.mark.parametrize("seed", range(N_GRAPHS))
-    def test_unweighted_random_graphs_are_three_edge_connected(self, seed):
-        n = 10 + (seed % 6)
-        graph = random_k_edge_connected_graph(
-            n, 3, extra_edge_prob=0.3, weight_range=None, seed=seed
-        )
-        result = three_ecss(graph, seed=seed)
-        _check_solution(graph, result, 3)
-
-    @pytest.mark.parametrize("seed", range(EXACT_GRAPHS))
-    def test_size_within_factor_two_of_exact_optimum(self, seed):
-        n = 10 + (seed % 4)
-        graph = random_k_edge_connected_graph(
-            n, 3, extra_edge_prob=0.3, weight_range=None, seed=seed
-        )
-        result = three_ecss(graph, seed=seed)
-        optimum = exact_k_ecss_weight(graph, 3)
-        # Theorem 1.3: 2-approximation for unweighted 3-ECSS.
-        assert optimum <= result.num_edges <= 2 * optimum
+    def test_sweep_is_three_edge_connected_and_within_factor_two(self):
+        results = _run("diff-3ecss", three_ecss_jobs(N_GRAPHS, EXACT_GRAPHS))
+        assert len(results) == N_GRAPHS + EXACT_GRAPHS
+        for result in _exact_results(results):
+            # Theorem 1.3: 2-approximation for unweighted 3-ECSS.
+            assert 1.0 <= result.metrics["ratio"] <= 2.0
 
 
 class TestKEcssDifferential:
-    @pytest.mark.parametrize("k", (2, 3))
-    @pytest.mark.parametrize("seed", range(N_GRAPHS // 2))
-    def test_weighted_random_graphs_are_k_edge_connected(self, seed, k):
-        n = 10 + (seed % 4)
-        graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)
-        result = k_ecss(graph, k, seed=seed)
-        _check_solution(graph, result, k)
+    def test_sweep_is_k_edge_connected_and_within_paper_factor(self):
+        results = _run("diff-kecss", k_ecss_jobs(N_GRAPHS, EXACT_GRAPHS))
+        assert len(results) == 2 * (N_GRAPHS // 2 + EXACT_GRAPHS // 2)
+        assert {r.config["k"] for r in results} == {2, 3}
+        for result in _exact_results(results):
+            # Theorem 1.2: within the k log2 n ceiling of the exact optimum.
+            assert 1.0 <= result.metrics["ratio"] <= result.metrics["factor"]
 
-    @pytest.mark.parametrize("k", (2, 3))
-    @pytest.mark.parametrize("seed", range(EXACT_GRAPHS // 2))
-    def test_weight_within_paper_factor_of_exact_optimum(self, seed, k):
-        n = 10 + (seed % 3)
-        graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)
-        result = k_ecss(graph, k, seed=seed)
-        optimum = exact_k_ecss_weight(graph, k)
-        # Theorem 1.2: O(k log n) expected approximation; the benchmarks use
-        # k log2 n as the concrete ceiling.
-        assert optimum <= result.weight <= k * math.log2(n) * optimum
+
+class TestBackendParityOnDifferentialTrials:
+    """A reduced grid must be bit-identical on serial, threads and processes."""
+
+    @pytest.mark.parametrize(
+        "experiment, jobs",
+        [
+            ("diff-2ecss", two_ecss_jobs(6, 3)),
+            ("diff-3ecss", three_ecss_jobs(6, 3)),
+            ("diff-kecss", k_ecss_jobs(6, 2)),
+        ],
+    )
+    def test_backends_agree_bit_for_bit(self, experiment, jobs):
+        outcomes = {
+            backend: _run(experiment, jobs, backend=backend, workers=4)
+            for backend in ("serial", "threads", "processes")
+        }
+        baseline = [
+            (r.config, r.seed, r.metrics) for r in outcomes["serial"]
+        ]
+        for backend, results in outcomes.items():
+            assert [
+                (r.config, r.seed, r.metrics) for r in results
+            ] == baseline, backend
 
 
 @pytest.mark.slow
 class TestLargeDifferentialSweep:
     """Same invariants on bigger instances; excluded from the default run."""
 
-    @pytest.mark.parametrize("seed", range(10))
-    def test_two_ecss_medium_instances(self, seed):
-        n = 32 + 4 * (seed % 5)
-        graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.2, seed=seed)
-        result = two_ecss(graph, seed=seed, simulate_bfs=False)
-        _check_solution(graph, result, 2)
-
-    @pytest.mark.parametrize("seed", range(10))
-    def test_three_ecss_medium_instances(self, seed):
-        n = 24 + 4 * (seed % 4)
-        graph = random_k_edge_connected_graph(
-            n, 3, extra_edge_prob=0.25, weight_range=None, seed=seed
-        )
-        result = three_ecss(graph, seed=seed)
-        _check_solution(graph, result, 3)
+    @pytest.mark.parametrize("experiment", sorted(medium_sweep_jobs(1)))
+    def test_medium_instances_through_the_process_backend(self, experiment):
+        jobs = medium_sweep_jobs(10)[experiment]
+        results = _run(experiment, jobs, backend="processes", workers=4)
+        assert len(results) == 10
+        assert all(r.ok for r in results)

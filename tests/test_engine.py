@@ -14,6 +14,7 @@ import pytest
 
 from repro.analysis.engine import (
     CODE_VERSION,
+    CacheFidelityError,
     ExperimentEngine,
     TrialJob,
     resolve_trial,
@@ -74,8 +75,10 @@ class TestTrialJob:
         assert a.config_dict == {"n": 16, "exact_cutoff": 40}
 
     def test_cache_key_golden(self):
+        # Pinned under an explicit code-version tag; the no-argument form
+        # derives the tag from solver-module hashes and changes with the code.
         job = TrialJob.make("e1", {"n": 16, "exact_cutoff": 40}, 123, 0)
-        assert job.cache_key() == (
+        assert job.cache_key("1") == (
             "beec29cf67a044280275cef42f6a6416de3a877e18d09e5a86ee1c3ab90ef1a2"
         )
 
@@ -86,11 +89,23 @@ class TestTrialJob:
         assert base.cache_key() != TrialJob.make("e1", {"n": 16}, 2).cache_key()
         assert base.cache_key() != base.cache_key(code_version="other")
 
+    def test_default_cache_key_uses_derived_code_version(self):
+        job = TrialJob.make("e1", {"n": 16}, 1)
+        assert job.cache_key() == job.cache_key(CODE_VERSION)
+
 
 class TestRegistry:
     def test_all_ten_experiments_register_a_trial(self):
-        assert set(TRIAL_REGISTRY) == {f"e{i}" for i in range(1, 11)}
-        assert set(EXPERIMENTS) == set(TRIAL_REGISTRY)
+        # The registry also hosts the differential trials (diff-*), so the
+        # table-producing experiments are a subset rather than the whole set.
+        assert set(TRIAL_REGISTRY) >= {f"e{i}" for i in range(1, 11)}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 11)}
+        assert set(EXPERIMENTS) <= set(TRIAL_REGISTRY)
+
+    def test_differential_trials_resolve_by_name(self):
+        assert callable(resolve_trial("diff-2ecss"))
+        assert callable(resolve_trial("diff-3ecss"))
+        assert callable(resolve_trial("diff-kecss"))
 
     def test_resolve_by_name_and_by_callable(self):
         assert resolve_trial("e1") is TRIAL_REGISTRY["e1"]
@@ -142,6 +157,45 @@ class TestEngineExecution:
         )
         assert set(aggregated) == {1, 3}
 
+    def test_no_cache_runs_count_as_executed_not_as_misses(self):
+        """Regression: with caching disabled there are no cache lookups, so
+        nothing can 'miss'; executed trials have their own counter."""
+        engine = ExperimentEngine()
+        engine.run_jobs(_value_trial, _jobs("unit", (1, 2), trials=1))
+        assert engine.stats == {
+            "hits": 0,
+            "misses": 0,
+            "executed": 2,
+            "failures": 0,
+        }
+        assert "2 executed" in engine.summary()
+
+    def test_aggregate_over_heterogeneous_metric_keys(self):
+        """Regression: ``aggregate`` used the first trial's metric keys, so a
+        group whose trials recorded different keys raised a bare ``KeyError``
+        (or silently dropped metrics the first trial lacked)."""
+
+        def uneven_trial(config, seed):
+            metrics = {"always": 1.0}
+            if seed % 2:
+                metrics["sometimes"] = 2.0
+            return metrics
+
+        jobs = [
+            TrialJob.make("unit", {"x": 0}, seed, seed) for seed in range(4)
+        ]
+        results = ExperimentEngine().run_jobs(uneven_trial, jobs)
+        with pytest.raises(TrialFailure, match="'sometimes' is missing"):
+            ExperimentRunner.aggregate(results, key=lambda r: r.config["x"])
+        # Metrics recorded by every trial of a group still aggregate, and the
+        # union is used even when the first trial lacks a key.
+        flipped = list(reversed(results))
+        with pytest.raises(TrialFailure, match="'sometimes' is missing"):
+            ExperimentRunner.aggregate(flipped, key=lambda r: r.config["x"])
+        even = [r for r in results if "sometimes" in r.metrics]
+        aggregated = ExperimentRunner.aggregate(even, key=lambda r: r.config["x"])
+        assert aggregated[0] == {"always": 1.0, "sometimes": 2.0}
+
     def test_runner_facade_matches_legacy_behaviour(self):
         runner = ExperimentRunner(trials=3)
         configs = [{"n": 4}, {"n": 8}]
@@ -162,14 +216,75 @@ class TestEngineCache:
         jobs = _jobs("unit", (1, 2), trials=2)
         cold = ExperimentEngine(cache_dir=tmp_path)
         first = cold.run_jobs(_value_trial, jobs)
-        assert cold.stats == {"hits": 0, "misses": 4, "failures": 0}
+        assert cold.stats == {"hits": 0, "misses": 4, "executed": 4, "failures": 0}
         assert len(list(tmp_path.rglob("*.json"))) == 4
 
         warm = ExperimentEngine(cache_dir=tmp_path)
         second = warm.run_jobs(_value_trial, jobs)
-        assert warm.stats == {"hits": 4, "misses": 0, "failures": 0}
+        assert warm.stats == {"hits": 4, "misses": 0, "executed": 0, "failures": 0}
         assert all(r.cached for r in second)
         assert [r.metrics for r in first] == [r.metrics for r in second]
+
+    def test_replay_restores_the_persisted_duration(self, tmp_path):
+        """Regression: cached results used to come back with duration=0.0
+        even though the cold run persisted the compute time."""
+        jobs = _jobs("unit", (1,), trials=1)
+        (first,) = ExperimentEngine(cache_dir=tmp_path).run_jobs(_value_trial, jobs)
+        (replayed,) = ExperimentEngine(cache_dir=tmp_path).run_jobs(
+            _value_trial, jobs
+        )
+        assert replayed.cached and not first.cached
+        assert replayed.duration == first.duration > 0.0
+
+    def test_non_json_metrics_are_rejected_at_store_time(self, tmp_path):
+        """Regression: ``default=repr`` used to silently stringify metrics the
+        cache cannot represent, so a warm replay differed from the live run."""
+
+        def object_trial(config, seed):
+            return {"value": object()}
+
+        def tuple_trial(config, seed):
+            return {"value": (1, 2)}
+
+        jobs = _jobs("unit", (1,), trials=1)
+        with pytest.raises(CacheFidelityError, match="not JSON-serializable"):
+            ExperimentEngine(cache_dir=tmp_path).run_jobs(object_trial, jobs)
+        with pytest.raises(CacheFidelityError, match="round trip"):
+            ExperimentEngine(cache_dir=tmp_path).run_jobs(tuple_trial, jobs)
+        # A non-JSON *config* value is rejected too (no silent repr anywhere
+        # in the persisted payload).
+        bad_config_jobs = [TrialJob.make("unit", {"x": object()}, 1, 0)]
+        with pytest.raises(CacheFidelityError, match="not JSON-serializable"):
+            ExperimentEngine(cache_dir=tmp_path).run_jobs(
+                lambda config, seed: {"value": 1}, bad_config_jobs
+            )
+        # Nothing half-written lands in the cache.
+        assert not list(tmp_path.rglob("*.json"))
+        # Without a cache the same trials run fine (nothing to mis-store).
+        results = ExperimentEngine().run_jobs(tuple_trial, jobs)
+        assert results[0].metrics == {"value": (1, 2)}
+
+    def test_warm_replay_is_metric_identical_including_value_types(self, tmp_path):
+        """Cache round-trip fidelity: ints stay ints, floats stay floats,
+        bools stay bools, and nested structures come back equal."""
+
+        def typed_trial(config, seed):
+            return {
+                "int": 3,
+                "float": 3.5,
+                "bool": True,
+                "none": None,
+                "nested": [{"a": 1, "b": [1.5, "s"]}],
+            }
+
+        jobs = _jobs("unit", (1,), trials=1)
+        (live,) = ExperimentEngine(cache_dir=tmp_path).run_jobs(typed_trial, jobs)
+        (replay,) = ExperimentEngine(cache_dir=tmp_path).run_jobs(typed_trial, jobs)
+        assert replay.cached
+        assert replay.metrics == live.metrics
+        assert [type(replay.metrics[k]) for k in live.metrics] == [
+            type(live.metrics[k]) for k in live.metrics
+        ]
 
     def test_use_cache_false_neither_reads_nor_writes(self, tmp_path):
         jobs = _jobs("unit", (1,), trials=1)

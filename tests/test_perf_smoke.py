@@ -1,18 +1,23 @@
 """Performance smoke tests for the experiment engine.
 
-Two guards, both part of the default test run:
+Three guards, all part of the default test run:
 
 * E1 in smoke mode (tiny sizes, serial) finishes within a generous
   wall-clock budget, so an accidental complexity regression in the solver or
   the engine plumbing shows up as a test failure rather than a slow CI run;
 * a warm-cache replay of E1 + E4 is at least 5x faster than the cold run
-  (the acceptance bar for the on-disk trial cache) -- timings are printed so
-  the speedup is visible in the test log with ``-s``.
+  (the acceptance bar for the on-disk trial cache), checked on the serial
+  backend **and** on the threads backend -- the cold sweep runs once and both
+  replays share its cache, so the extra backend costs only a replay;
+* timings are printed so the speedups are visible in the test log with
+  ``-s``.
 """
 
 from __future__ import annotations
 
 import time
+
+import pytest
 
 from repro.analysis.engine import ExperimentEngine
 from repro.analysis.experiments import (
@@ -41,14 +46,26 @@ def test_e1_smoke_mode_runs_within_wall_clock_budget():
     assert elapsed < E1_SMOKE_BUDGET_SECONDS
 
 
-def test_warm_cache_replay_of_e1_e4_is_at_least_5x_faster(tmp_path):
-    cold_engine = ExperimentEngine(cache_dir=tmp_path)
+@pytest.fixture(scope="module")
+def cold_run(tmp_path_factory):
+    """One cold E1+E4 sweep whose cache every warm-replay test shares."""
+    cache_dir = tmp_path_factory.mktemp("perf-cache")
+    engine = ExperimentEngine(cache_dir=cache_dir)
     started = time.perf_counter()
-    cold_e1, cold_e4 = _run_e1_e4(cold_engine)
-    cold = time.perf_counter() - started
-    assert cold_engine.stats["hits"] == 0
+    e1, e4 = _run_e1_e4(engine)
+    elapsed = time.perf_counter() - started
+    assert engine.stats["hits"] == 0
+    return cache_dir, elapsed, e1, e4
 
-    warm_engine = ExperimentEngine(cache_dir=tmp_path)
+
+@pytest.mark.parametrize(
+    "backend, workers", [("serial", 1), ("threads", 4)], ids=["serial", "threads"]
+)
+def test_warm_cache_replay_is_at_least_5x_faster(cold_run, backend, workers):
+    cache_dir, cold, cold_e1, cold_e4 = cold_run
+    warm_engine = ExperimentEngine(
+        cache_dir=cache_dir, backend=backend, workers=workers
+    )
     started = time.perf_counter()
     warm_e1, warm_e4 = _run_e1_e4(warm_engine)
     warm = time.perf_counter() - started
@@ -56,12 +73,12 @@ def test_warm_cache_replay_of_e1_e4_is_at_least_5x_faster(tmp_path):
 
     speedup = cold / warm
     print(
-        f"\nE1+E4 cold: {cold:.3f}s, warm cache: {warm:.3f}s "
+        f"\nE1+E4 cold: {cold:.3f}s, warm cache ({backend}): {warm:.3f}s "
         f"-> {speedup:.1f}x speedup ({warm_engine.summary()})"
     )
     assert speedup >= WARM_CACHE_MIN_SPEEDUP, (
-        f"warm-cache replay only {speedup:.1f}x faster (cold {cold:.3f}s, "
-        f"warm {warm:.3f}s)"
+        f"warm-cache replay on {backend} only {speedup:.1f}x faster "
+        f"(cold {cold:.3f}s, warm {warm:.3f}s)"
     )
     # The replayed tables are bit-identical to the cold ones.
     assert warm_e1.rows == cold_e1.rows
