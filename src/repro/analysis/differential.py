@@ -17,6 +17,13 @@ detects a violation raises; the engine captures the traceback per-trial into
 ``TrialResult.error`` and the aggregation helpers surface it with the
 offending (config, seed) pair attached.
 
+The ``diff-fastgraph-*`` trials differential-test the flat-array CSR kernel
+(:mod:`repro.graphs.fastgraph`) against the historical networkx oracles:
+bridges, exact edge connectivity, cut-pair enumeration, contraction-based
+min-cut enumeration (same seed, hence identical RNG stream) and the Kruskal
+MST, across every registered generator family in
+:data:`repro.graphs.generators.FAMILIES`.
+
 Instance sizes are derived from ``(config, seed)`` exactly as the historical
 per-seed pytest parametrization did, so every backend sees the same graphs
 and every assertion stays deterministic.
@@ -36,22 +43,40 @@ from repro.core.k_ecss import k_ecss
 from repro.core.three_ecss import three_ecss
 from repro.core.two_ecss import two_ecss
 from repro.graphs.connectivity import (
+    bridges,
+    bridges_nx,
+    edge_connectivity,
+    edge_connectivity_nx,
     is_k_edge_connected,
     subgraph_weight,
     verify_spanning_subgraph,
 )
+from repro.graphs.cuts import (
+    enumerate_cut_pairs,
+    enumerate_cut_pairs_nx,
+    enumerate_min_cuts_contraction,
+    enumerate_min_cuts_contraction_nx,
+)
+from repro.graphs.fastgraph import hop_diameter
 from repro.graphs.generators import (
+    FAMILIES,
     cycle_with_chords,
     random_k_edge_connected_graph,
 )
+from repro.mst.sequential import minimum_spanning_tree, mst_weight
 
 __all__ = [
     "diff_two_ecss_trial",
     "diff_three_ecss_trial",
     "diff_k_ecss_trial",
+    "diff_fastgraph_connectivity_trial",
+    "diff_fastgraph_cut_pairs_trial",
+    "diff_fastgraph_min_cuts_trial",
+    "diff_fastgraph_mst_trial",
     "two_ecss_jobs",
     "three_ecss_jobs",
     "k_ecss_jobs",
+    "fastgraph_jobs",
     "medium_sweep_jobs",
 ]
 
@@ -169,6 +194,105 @@ def diff_k_ecss_trial(config: Config, seed: int) -> dict:
     return metrics
 
 
+# ------------------------------------------------------------- fastgraph
+def _fastgraph_instance(config: Config, seed: int) -> nx.Graph:
+    """The seeded family instance shared by every diff-fastgraph trial."""
+    family = FAMILIES[config["family"]]
+    n = 10 + seed % 21
+    return family(n, seed=seed)
+
+
+def _cut_key_set(cuts) -> set:
+    """A comparable identity for a list of cuts: (side, crossing edges)."""
+    return {(cut.side, cut.edges) for cut in cuts}
+
+
+@register_trial("diff-fastgraph-connectivity")
+def diff_fastgraph_connectivity_trial(config: Config, seed: int) -> dict:
+    """Bridges / edge connectivity / diameter parity with the networkx oracles."""
+    graph = _fastgraph_instance(config, seed)
+    fast_bridges = bridges(graph)
+    if fast_bridges != bridges_nx(graph):
+        raise AssertionError(
+            f"fastgraph bridges disagree with networkx: "
+            f"{sorted(fast_bridges)} vs {sorted(bridges_nx(graph))}"
+        )
+    fast_connectivity = edge_connectivity(graph)
+    oracle_connectivity = edge_connectivity_nx(graph)
+    if fast_connectivity != oracle_connectivity:
+        raise AssertionError(
+            f"edge connectivity {fast_connectivity} != oracle {oracle_connectivity}"
+        )
+    for k in (1, 2, 3, 4):
+        if is_k_edge_connected(graph, k) != (oracle_connectivity >= k):
+            raise AssertionError(f"is_k_edge_connected({k}) disagrees with the oracle")
+    if hop_diameter(graph) != nx.diameter(graph):
+        raise AssertionError("hop_diameter disagrees with nx.diameter")
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "connectivity": fast_connectivity,
+        "bridges": len(fast_bridges),
+    }
+
+
+@register_trial("diff-fastgraph-cut-pairs")
+def diff_fastgraph_cut_pairs_trial(config: Config, seed: int) -> dict:
+    """Exact cut-pair enumeration parity (Claim 5.6) with the networkx oracle."""
+    graph = _fastgraph_instance(config, seed)
+    fast = _cut_key_set(enumerate_cut_pairs(graph))
+    oracle = _cut_key_set(enumerate_cut_pairs_nx(graph))
+    if fast != oracle:
+        raise AssertionError(
+            f"cut pairs disagree: fastgraph found {len(fast)}, oracle {len(oracle)}; "
+            f"only-fast={sorted(fast - oracle)!r} only-oracle={sorted(oracle - fast)!r}"
+        )
+    return {"n": graph.number_of_nodes(), "cut_pairs": len(fast)}
+
+
+@register_trial("diff-fastgraph-min-cuts")
+def diff_fastgraph_min_cuts_trial(config: Config, seed: int) -> dict:
+    """Contraction enumerator parity: same seed, identical RNG stream, same cuts."""
+    graph = _fastgraph_instance(config, seed)
+    size = max(3, edge_connectivity_nx(graph))
+    # Parity holds for any run budget (both enumerators consume the identical
+    # RNG stream); a small budget keeps the 300-trial default sweep cheap.
+    runs = 60
+    fast = _cut_key_set(
+        enumerate_min_cuts_contraction(graph, size, seed=seed, runs=runs)
+    )
+    oracle = _cut_key_set(
+        enumerate_min_cuts_contraction_nx(graph, size, seed=seed, runs=runs)
+    )
+    if fast != oracle:
+        raise AssertionError(
+            f"contraction cuts of size {size} disagree: fastgraph found "
+            f"{len(fast)}, oracle {len(oracle)}"
+        )
+    return {"n": graph.number_of_nodes(), "size": size, "cuts": len(fast)}
+
+
+@register_trial("diff-fastgraph-mst")
+def diff_fastgraph_mst_trial(config: Config, seed: int) -> dict:
+    """Kruskal-on-array-union-find parity with the networkx MST oracle."""
+    graph = _fastgraph_instance(config, seed)
+    tree = minimum_spanning_tree(graph)
+    if tree.number_of_edges() != graph.number_of_nodes() - 1:
+        raise AssertionError("Kruskal output is not a spanning tree")
+    if not nx.is_connected(tree):
+        raise AssertionError("Kruskal output is not connected")
+    weight = sum(data.get("weight", 1) for _, _, data in tree.edges(data=True))
+    oracle = sum(
+        data.get("weight", 1)
+        for _, _, data in nx.minimum_spanning_tree(graph).edges(data=True)
+    )
+    if weight != oracle:
+        raise AssertionError(f"MST weight {weight} != networkx oracle {oracle}")
+    if mst_weight(graph) != weight:
+        raise AssertionError("mst_weight disagrees with the constructed tree")
+    return {"n": graph.number_of_nodes(), "mst_weight": float(weight)}
+
+
 # ------------------------------------------------------------- job builders
 def _jobs(experiment: str, family: str, seeds: Sequence[int], **extra) -> list[TrialJob]:
     return [
@@ -201,6 +325,27 @@ def k_ecss_jobs(n_graphs: int = 50, exact_graphs: int = 15) -> list[TrialJob]:
         jobs.extend(_jobs("diff-kecss", "random", range(n_graphs // 2), k=k))
         jobs.extend(_jobs("diff-kecss", "random-exact", range(exact_graphs // 2), k=k))
     return jobs
+
+
+def fastgraph_jobs(n_graphs: int = 50) -> dict[str, list[TrialJob]]:
+    """The fastgraph-vs-oracle differential grid, keyed by trial name.
+
+    *n_graphs* seeded instances of **every** registered generator family per
+    kernel primitive (the acceptance bar is >= 50 per family).
+    """
+    return {
+        name: [
+            job
+            for family in sorted(FAMILIES)
+            for job in _jobs(name, family, range(n_graphs))
+        ]
+        for name in (
+            "diff-fastgraph-connectivity",
+            "diff-fastgraph-cut-pairs",
+            "diff-fastgraph-min-cuts",
+            "diff-fastgraph-mst",
+        )
+    }
 
 
 def medium_sweep_jobs(n_graphs: int = 10) -> dict[str, list[TrialJob]]:

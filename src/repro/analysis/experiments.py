@@ -104,7 +104,22 @@ def _log2(n: int) -> float:
 
 
 # --------------------------------------------------------------------------- E1
-@register_trial("e1")
+@register_trial(
+    "e1",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.two_ecss",
+        "repro.core.result",
+        "repro.core.cost_effectiveness",
+        "repro.baselines",
+        "repro.decomposition",
+        "repro.tap",
+        "repro.mst",
+        "repro.trees",
+        "repro.graphs",
+        "repro.congest",
+    ),
+)
 def e1_trial(config: Config, seed: int) -> dict:
     n = config["n"]
     graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=0.25, seed=seed)
@@ -177,7 +192,21 @@ E2_FAMILIES: dict[str, Callable[[int, int], object]] = {
 }
 
 
-@register_trial("e2")
+@register_trial(
+    "e2",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.two_ecss",
+        "repro.core.result",
+        "repro.core.cost_effectiveness",
+        "repro.decomposition",
+        "repro.tap",
+        "repro.mst",
+        "repro.trees",
+        "repro.graphs",
+        "repro.congest",
+    ),
+)
 def e2_trial(config: Config, seed: int) -> dict:
     graph = E2_FAMILIES[config["family"]](config["n"], seed)
     result = two_ecss(graph, seed=seed, simulate_bfs=False)
@@ -274,7 +303,23 @@ def experiment_e3_tap_iterations(
 
 
 # --------------------------------------------------------------------------- E4
-@register_trial("e4")
+@register_trial(
+    "e4",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.k_ecss",
+        "repro.core.augmentation",
+        "repro.core.cost_effectiveness",
+        "repro.core.result",
+        "repro.baselines.exact",
+        "repro.baselines.mst_baseline",
+        "repro.graphs",
+        "repro.mst",
+        "repro.tap.cover",
+        "repro.trees",
+        "repro.congest",
+    ),
+)
 def e4_trial(config: Config, seed: int) -> dict:
     n, k = config["n"], config["k"]
     graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.3, seed=seed)
@@ -334,7 +379,20 @@ def experiment_e4_k_ecss(
 
 
 # --------------------------------------------------------------------------- E5
-@register_trial("e5")
+@register_trial(
+    "e5",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.three_ecss",
+        "repro.core.cost_effectiveness",
+        "repro.core.result",
+        "repro.baselines.thurimella",
+        "repro.cycle_space",
+        "repro.graphs",
+        "repro.trees",
+        "repro.congest",
+    ),
+)
 def e5_trial(config: Config, seed: int) -> dict:
     n = config["n"]
     graph = random_k_edge_connected_graph(
@@ -506,7 +564,20 @@ def experiment_e7_cycle_space(
 
 
 # --------------------------------------------------------------------------- E8
-@register_trial("e8")
+@register_trial(
+    "e8",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.k_ecss",
+        "repro.core.augmentation",
+        "repro.core.cost_effectiveness",
+        "repro.core.result",
+        "repro.graphs",
+        "repro.mst",
+        "repro.trees",
+        "repro.congest",
+    ),
+)
 def e8_trial(config: Config, seed: int) -> dict:
     n, k = config["n"], config["k"]
     graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)
@@ -547,7 +618,21 @@ def experiment_e8_augmentation_invariants(
 
 
 # --------------------------------------------------------------------------- E9
-@register_trial("e9")
+@register_trial(
+    "e9",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.two_ecss",
+        "repro.core.result",
+        "repro.core.cost_effectiveness",
+        "repro.decomposition",
+        "repro.tap",
+        "repro.mst",
+        "repro.trees",
+        "repro.graphs",
+        "repro.congest",
+    ),
+)
 def e9_trial(config: Config, seed: int) -> dict:
     graph = random_k_edge_connected_graph(
         config["n"], 2, extra_edge_prob=0.3, seed=seed
@@ -597,7 +682,20 @@ def experiment_e9_voting_ablation(
 
 
 # -------------------------------------------------------------------------- E10
-@register_trial("e10")
+@register_trial(
+    "e10",
+    modules=(
+        "repro.analysis.experiments",
+        "repro.core.k_ecss",
+        "repro.core.augmentation",
+        "repro.core.cost_effectiveness",
+        "repro.core.result",
+        "repro.graphs",
+        "repro.mst",
+        "repro.trees",
+        "repro.congest",
+    ),
+)
 def e10_trial(config: Config, seed: int) -> dict:
     n, k = config["n"], config["k"]
     graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)

@@ -20,7 +20,7 @@ import networkx as nx
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.graphs.connectivity import canonical_edge, edge_connectivity
+from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
 from repro.tap.cover import CoverageState
 from repro.trees.rooted import RootedTree
 
@@ -84,7 +84,9 @@ def _violated_cuts(graph: nx.Graph, chosen: Iterable[Edge], k: int) -> list[froz
         # Add one constraint per connected component: each must be crossed k times.
         components = list(nx.connected_components(subgraph))
         return [frozenset(component) for component in components[:-1]]
-    if edge_connectivity(subgraph) >= k:
+    # Boolean k-connectivity check: for k <= 3 this is decided entirely on
+    # the flat-array kernel (bridges / cut pairs), never via max-flow.
+    if is_k_edge_connected(subgraph, k):
         return []
     cut_value, (side_a, _) = nx.stoer_wagner(subgraph)
     del cut_value

@@ -1,10 +1,13 @@
-"""Command line interface: ``kecss solve | verify | experiment | cache | families``.
+"""Command line interface: ``kecss solve | verify | experiment | bench | cache | families``.
 
 Examples::
 
     kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
     kecss experiment e3
     kecss experiment e1 --workers 4 --backend threads --cache-dir .repro-cache
+    kecss bench e2 --out BENCH_e2.json
+    kecss bench all --out-dir baselines --workers 4
+    kecss bench e6 --against BENCH_e6.json
     kecss cache stats --cache-dir .repro-cache
     kecss cache gc --cache-dir .repro-cache
     kecss families
@@ -16,6 +19,14 @@ out over N workers on the execution backend picked with ``--backend``
 every backend), ``--cache-dir`` persists per-trial results so re-runs and
 partially failed sweeps resume from disk, and ``--no-cache`` forces
 recomputation.
+
+The ``bench`` subcommand runs the same experiment entrypoints through the
+engine and persists machine-readable ``BENCH_<experiment>.json`` baselines
+(per-trial durations, metrics, aggregate tables, engine/cache provenance) so
+future changes can be diffed against a recorded perf trajectory instead of
+claimed speedups: ``--dry-run`` prints the JSON without writing, ``--against
+PATH`` re-runs the experiment and fails when its aggregates drift from the
+stored baseline.
 
 The ``cache`` subcommand manages that on-disk trial cache: ``stats`` prints
 per-experiment entry/stale/byte counts, ``gc`` evicts entries whose stored
@@ -97,6 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory for the on-disk trial cache (default: caching off)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="ignore the cache even when --cache-dir is set")
+
+    bench = subparsers.add_parser(
+        "bench", help="run benchmark entrypoints and persist BENCH_*.json baselines"
+    )
+    bench.add_argument("experiment_id", metavar="id",
+                       choices=["all", *sorted(_EXPERIMENTS)],
+                       help="experiment id, or 'all' for every experiment")
+    bench.add_argument("--out", default=None,
+                       help="output path (default: BENCH_<id>.json; single id only)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory for the BENCH_<id>.json files (default: cwd)")
+    bench.add_argument("--dry-run", action="store_true",
+                       help="print the baseline JSON to stdout without writing files")
+    bench.add_argument("--against", default=None, metavar="PATH",
+                       help="compare the fresh aggregates against a stored baseline "
+                            "and exit non-zero on drift (single id only)")
+    bench.add_argument("--workers", type=int, default=1,
+                       help="worker count for trial fan-out (default: 1, serial)")
+    bench.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+                       help="execution backend (default: serial for 1 worker, "
+                            "processes otherwise)")
+    bench.add_argument("--cache-dir", default=None,
+                       help="directory for the on-disk trial cache (default: caching off)")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="ignore the cache even when --cache-dir is set")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clean the on-disk trial cache"
@@ -199,6 +235,84 @@ def _experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import (
+        RecordingEngine,
+        baseline_path,
+        build_baseline,
+        compare_tables,
+        validate_baseline,
+        write_baseline,
+    )
+
+    ids = sorted(_EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
+    if args.out is not None and len(ids) != 1:
+        raise SystemExit("--out requires a single experiment id (use --out-dir for 'all')")
+    if args.against is not None and len(ids) != 1:
+        raise SystemExit("--against requires a single experiment id")
+    if args.against is not None and args.out is not None:
+        raise SystemExit(
+            "--against does not write baselines; drop --out (or record a new "
+            "baseline first, then compare)"
+        )
+    if args.cache_dir is not None and not args.no_cache:
+        try:
+            Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SystemExit(f"cannot create cache dir {args.cache_dir!r}: {exc}")
+    engine = RecordingEngine(
+        workers=args.workers,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    exit_code = 0
+    for experiment_id in ids:
+        payload = build_baseline(experiment_id, engine=engine)
+        problems = validate_baseline(payload)
+        if problems:
+            raise SystemExit(
+                f"internal error: {experiment_id} baseline failed its own schema "
+                f"check: {'; '.join(problems)}"
+            )
+        if args.against is not None:
+            try:
+                stored = json.loads(Path(args.against).read_text())
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read baseline {args.against!r}: {exc}")
+            from repro.analysis.tables import Table
+
+            fresh = Table(
+                title=payload["table"]["title"],
+                columns=payload["table"]["columns"],
+                rows=[tuple(row) for row in payload["table"]["rows"]],
+            )
+            mismatches = compare_tables(stored, fresh)
+            if mismatches:
+                exit_code = 1
+                print(f"{experiment_id}: aggregates drifted from {args.against}:")
+                for line in mismatches:
+                    print(f"  {line}")
+            else:
+                print(f"{experiment_id}: aggregates match {args.against}")
+        if args.dry_run:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        elif args.against is None:
+            path = Path(args.out) if args.out else baseline_path(
+                experiment_id, args.out_dir
+            )
+            write_baseline(payload, path)
+            summary = payload["summary"]
+            print(
+                f"{experiment_id}: wrote {path} "
+                f"({summary['trial_count']} trials, "
+                f"{summary['wall_seconds']:.3f}s wall, "
+                f"{summary['cached_trials']} cached)"
+            )
+    print(engine.summary(), file=sys.stderr)
+    return exit_code
+
+
 def _cache(args: argparse.Namespace) -> int:
     cache_dir = Path(args.cache_dir)
     if not cache_dir.is_dir():
@@ -250,6 +364,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "solve": _solve,
         "verify": _verify,
         "experiment": _experiment,
+        "bench": _bench,
         "cache": _cache,
         "families": _families,
     }

@@ -18,6 +18,7 @@ from typing import Callable, Hashable, Iterable, Mapping
 import networkx as nx
 
 from repro.congest.metrics import RoundReport
+from repro.graphs.fastgraph import hop_diameter
 
 __all__ = ["Message", "CongestNode", "CongestNetwork", "BandwidthExceeded"]
 
@@ -85,7 +86,9 @@ class CongestNode:
 
     def halt(self) -> None:
         """Mark this node as locally terminated."""
-        self._halted = True
+        if not self._halted:
+            self._halted = True
+            self._network._note_halt()
 
     @property
     def halted(self) -> bool:
@@ -99,7 +102,11 @@ class CongestNode:
 
 @dataclass
 class _EdgeUsage:
-    """Per-round accounting of how many words crossed each directed edge."""
+    """Per-round accounting of how many words crossed each directed edge.
+
+    One instance is reused across rounds (``reset`` clears the dict in place)
+    so the round loop does not reallocate the accounting structures.
+    """
 
     words: dict[tuple[Hashable, Hashable], int] = field(default_factory=dict)
 
@@ -110,6 +117,9 @@ class _EdgeUsage:
 
     def max_congestion(self) -> int:
         return max(self.words.values(), default=0)
+
+    def reset(self) -> None:
+        self.words.clear()
 
 
 class CongestNetwork:
@@ -132,6 +142,11 @@ class CongestNetwork:
         self.bandwidth_words = bandwidth_words
         self.nodes: dict[Hashable, CongestNode] = {}
         self._last_report: RoundReport | None = None
+        self._halted_count = 0
+
+    def _note_halt(self) -> None:
+        """Called by :meth:`CongestNode.halt` (at most once per node)."""
+        self._halted_count += 1
 
     # ------------------------------------------------------------------ runs
     def run(
@@ -147,6 +162,7 @@ class CongestNetwork:
         Raises ``RuntimeError`` if the algorithm does not terminate within
         *max_rounds*.
         """
+        self._halted_count = 0
         self.nodes = {
             v: node_factory(v, tuple(self.graph.neighbors(v)), self)
             for v in self.graph.nodes()
@@ -156,14 +172,20 @@ class CongestNetwork:
 
         total_messages = 0
         max_congestion = 0
+        node_count = len(self.nodes)
+        # Double-buffered per-node message buckets, reused (swap + clear)
+        # every round instead of reallocating a dict of fresh lists; halted
+        # state is tracked by a counter maintained in halt() rather than
+        # rescanning every node each round.
         inboxes: dict[Hashable, list[Message]] = {v: [] for v in self.nodes}
+        next_inboxes: dict[Hashable, list[Message]] = {v: [] for v in self.nodes}
+        usage = _EdgeUsage()
         rounds = 0
         for round_number in range(1, max_rounds + 1):
-            if all(node.halted for node in self.nodes.values()):
+            if self._halted_count == node_count:
                 break
             rounds = round_number
-            usage = _EdgeUsage()
-            next_inboxes: dict[Hashable, list[Message]] = {v: [] for v in self.nodes}
+            usage.reset()
             for node in self.nodes.values():
                 node.on_round(round_number, inboxes[node.node_id])
             for node in self.nodes.values():
@@ -177,7 +199,9 @@ class CongestNetwork:
                     next_inboxes[message.dst].append(message)
                     total_messages += 1
             max_congestion = max(max_congestion, usage.max_congestion())
-            inboxes = next_inboxes
+            inboxes, next_inboxes = next_inboxes, inboxes
+            for bucket in next_inboxes.values():
+                bucket.clear()
         else:
             raise RuntimeError(f"{label}: did not terminate within {max_rounds} rounds")
 
@@ -206,4 +230,4 @@ class CongestNetwork:
 
     def diameter(self) -> int:
         """Return the (hop) diameter of the communication graph."""
-        return nx.diameter(self.graph)
+        return hop_diameter(self.graph)

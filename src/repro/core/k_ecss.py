@@ -39,6 +39,7 @@ from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS, rounded_cost_e
 from repro.core.result import ECSSResult
 from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
 from repro.graphs.cuts import Cut, enumerate_cuts_of_size
+from repro.graphs.fastgraph import hop_diameter
 from repro.mst.sequential import minimum_spanning_tree
 
 Edge = tuple[Hashable, Hashable]
@@ -97,7 +98,7 @@ def augment_to_k(
     n = graph.number_of_nodes()
     m = graph.number_of_edges()
     if cost_model is None:
-        cost_model = CostModel(n=n, diameter=nx.diameter(graph))
+        cost_model = CostModel(n=n, diameter=hop_diameter(graph))
     if max_iterations is None:
         max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
 
@@ -270,7 +271,7 @@ def k_ecss(
     if not is_k_edge_connected(graph, k):
         raise ValueError(f"the input graph is not {k}-edge-connected; k-ECSS is infeasible")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    cost_model = CostModel(n=graph.number_of_nodes(), diameter=nx.diameter(graph))
+    cost_model = CostModel(n=graph.number_of_nodes(), diameter=hop_diameter(graph))
 
     def mst_solver(g: nx.Graph, current: frozenset[Edge], level: int) -> AugmentationResult:
         del current, level

@@ -31,6 +31,7 @@ from repro.core.cost_effectiveness import round_up_to_power_of_two
 from repro.core.result import ECSSResult
 from repro.cycle_space.labels import compute_labels
 from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
+from repro.graphs.fastgraph import hop_diameter
 from repro.trees.lca import LCAIndex
 from repro.trees.rooted import RootedTree
 
@@ -70,7 +71,7 @@ def unweighted_two_ecss_2approx(
     if not is_k_edge_connected(graph, 2):
         raise ValueError("the input graph is not 2-edge-connected")
     if cost_model is None:
-        cost_model = CostModel(n=graph.number_of_nodes(), diameter=nx.diameter(graph))
+        cost_model = CostModel(n=graph.number_of_nodes(), diameter=hop_diameter(graph))
     tree = RootedTree.bfs_tree(graph, root=root)
     lca = LCAIndex(tree)
     tree_edges = tree.tree_edges()
@@ -133,7 +134,7 @@ def three_ecss(
         raise ValueError("the input graph is not 3-edge-connected; 3-ECSS is infeasible")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     n = graph.number_of_nodes()
-    diameter = nx.diameter(graph)
+    diameter = hop_diameter(graph)
     cost_model = CostModel(n=n, diameter=diameter)
     ledger = RoundLedger()
 

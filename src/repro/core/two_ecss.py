@@ -20,6 +20,7 @@ from repro.congest.metrics import RoundLedger
 from repro.core.result import ECSSResult
 from repro.decomposition.segments import TreeDecomposition, build_decomposition
 from repro.graphs.connectivity import is_k_edge_connected
+from repro.graphs.fastgraph import hop_diameter
 from repro.mst.distributed import build_mst_with_fragments
 from repro.tap.distributed import TapResult, distributed_tap
 from repro.trees.rooted import RootedTree
@@ -44,7 +45,7 @@ def weighted_tap(
     (the decomposition the 2-ECSS pipeline builds anyway).
     """
     if cost_model is None:
-        cost_model = CostModel(n=graph.number_of_nodes(), diameter=nx.diameter(graph))
+        cost_model = CostModel(n=graph.number_of_nodes(), diameter=hop_diameter(graph))
     segment_diameter = None
     if decomposition is not None:
         segment_diameter = max(1, decomposition.max_segment_diameter())

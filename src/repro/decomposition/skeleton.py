@@ -26,7 +26,15 @@ __all__ = ["SkeletonTree"]
 
 
 class SkeletonTree:
-    """The virtual tree over marked vertices whose edges are segment highways."""
+    """The virtual tree over marked vertices whose edges are segment highways.
+
+    Internally the marked vertices are relabelled to ``0..s-1`` and the
+    parent/depth structure is kept in flat integer arrays (the same
+    representation trick as :mod:`repro.graphs.fastgraph`), so the
+    path/depth queries the TAP stage leans on walk lists of ints instead of
+    chasing a label-keyed parent dict.  The public API still speaks original
+    vertex labels.
+    """
 
     def __init__(
         self,
@@ -37,6 +45,31 @@ class SkeletonTree:
         self._root = root
         self._parent = parent
         self._highway_of = highway_of
+        # Flat mirrors of the parent map: label <-> id, parent id, depth.
+        self._labels = list(parent)
+        self._index = {label: i for i, label in enumerate(self._labels)}
+        self._parent_idx = [
+            -1 if parent[label] is None else self._index[parent[label]]
+            for label in self._labels
+        ]
+        self._depth = self._compute_depths()
+
+    def _compute_depths(self) -> list[int]:
+        """Depth of every marked vertex, resolved iteratively (no recursion)."""
+        depth = [-1] * len(self._labels)
+        parent_idx = self._parent_idx
+        for start in range(len(depth)):
+            if depth[start] >= 0:
+                continue
+            chain = []
+            vertex = start
+            while vertex >= 0 and depth[vertex] < 0:
+                chain.append(vertex)
+                vertex = parent_idx[vertex]
+            base = depth[vertex] if vertex >= 0 else -1
+            for offset, item in enumerate(reversed(chain), start=1):
+                depth[item] = base + offset
+        return depth
 
     # ----------------------------------------------------------- constructors
     @staticmethod
@@ -79,31 +112,38 @@ class SkeletonTree:
         return list(self._highway_of[canonical_edge(r, d)])
 
     def depth(self, vertex: Hashable) -> int:
-        """Depth of *vertex* in the skeleton tree."""
-        depth = 0
-        current = self._parent[vertex]
-        while current is not None:
-            depth += 1
-            current = self._parent[current]
-        return depth
+        """Depth of *vertex* in the skeleton tree (precomputed, O(1))."""
+        return self._depth[self._index[vertex]]
 
     def path(self, u: Hashable, v: Hashable) -> list[Hashable]:
-        """Skeleton vertices on the path between two marked vertices (inclusive)."""
-        if u not in self._parent or v not in self._parent:
+        """Skeleton vertices on the path between two marked vertices (inclusive).
+
+        Classic two-pointer LCA walk on the flat depth/parent arrays.
+        """
+        if u not in self._index or v not in self._index:
             raise KeyError("both endpoints must be marked vertices")
-        ancestors_u = [u]
-        current = u
-        while self._parent[current] is not None:
-            current = self._parent[current]
-            ancestors_u.append(current)
-        ancestor_set = {vertex: index for index, vertex in enumerate(ancestors_u)}
-        path_v = [v]
-        current = v
-        while current not in ancestor_set:
-            current = self._parent[current]
-            path_v.append(current)
-        meet_index = ancestor_set[current]
-        return ancestors_u[:meet_index] + list(reversed(path_v))
+        parent_idx, depth, labels = self._parent_idx, self._depth, self._labels
+        a, b = self._index[u], self._index[v]
+        prefix: list[int] = []  # from u down towards the meeting point
+        suffix: list[int] = []  # from v up towards the meeting point
+        while depth[a] > depth[b]:
+            prefix.append(a)
+            a = parent_idx[a]
+        while depth[b] > depth[a]:
+            suffix.append(b)
+            b = parent_idx[b]
+        while a != b:
+            prefix.append(a)
+            suffix.append(b)
+            a = parent_idx[a]
+            b = parent_idx[b]
+        if a < 0:
+            # Both walks stepped past their roots in the same iteration: the
+            # endpoints live in different trees of the skeleton forest.
+            raise KeyError("both endpoints must be in the same skeleton tree")
+        prefix.append(a)
+        prefix.extend(reversed(suffix))
+        return [labels[i] for i in prefix]
 
     def expand_path_to_tree_edges(self, u: Hashable, v: Hashable) -> list[Edge]:
         """Expand the skeleton path between *u* and *v* into the underlying tree edges.

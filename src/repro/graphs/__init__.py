@@ -8,9 +8,12 @@ subpackage provides
 * :mod:`repro.graphs.generators` -- families of k-edge-connected test graphs,
 * :mod:`repro.graphs.connectivity` -- connectivity queries and verification,
 * :mod:`repro.graphs.cuts` -- enumeration of small edge cuts (the objects the
-  augmentation algorithms must cover).
+  augmentation algorithms must cover),
+* :mod:`repro.graphs.fastgraph` -- the flat-array CSR kernel the hot paths
+  above run on (integer relabelling, iterative Tarjan, array union-find).
 """
 
+from repro.graphs.fastgraph import ArrayUnionFind, FastGraph, hop_diameter
 from repro.graphs.generators import (
     GraphFamily,
     random_k_edge_connected_graph,
@@ -23,8 +26,10 @@ from repro.graphs.generators import (
 )
 from repro.graphs.connectivity import (
     edge_connectivity,
+    edge_connectivity_nx,
     is_k_edge_connected,
     bridges,
+    bridges_nx,
     verify_spanning_subgraph,
     subgraph_weight,
 )
@@ -33,11 +38,16 @@ from repro.graphs.cuts import (
     enumerate_cuts_of_size,
     enumerate_bridge_cuts,
     enumerate_cut_pairs,
+    enumerate_cut_pairs_nx,
     enumerate_min_cuts_contraction,
+    enumerate_min_cuts_contraction_nx,
     cut_is_covered,
 )
 
 __all__ = [
+    "ArrayUnionFind",
+    "FastGraph",
+    "hop_diameter",
     "GraphFamily",
     "random_k_edge_connected_graph",
     "cycle_with_chords",
@@ -47,14 +57,18 @@ __all__ = [
     "assign_random_weights",
     "assign_unit_weights",
     "edge_connectivity",
+    "edge_connectivity_nx",
     "is_k_edge_connected",
     "bridges",
+    "bridges_nx",
     "verify_spanning_subgraph",
     "subgraph_weight",
     "Cut",
     "enumerate_cuts_of_size",
     "enumerate_bridge_cuts",
     "enumerate_cut_pairs",
+    "enumerate_cut_pairs_nx",
     "enumerate_min_cuts_contraction",
+    "enumerate_min_cuts_contraction_nx",
     "cut_is_covered",
 ]

@@ -2,9 +2,15 @@
 
 These are the *verification* side of the reproduction: every algorithm in
 :mod:`repro.core` promises a k-edge-connected spanning subgraph, and the test
-suite checks that promise with the functions here (which are independent of
-the algorithms under test -- they go through networkx max-flow / bridge
-finding).
+suite checks that promise with the functions here.
+
+The hot paths run on the flat-array CSR kernel of
+:mod:`repro.graphs.fastgraph`: connectivity 0/1/2 is decided exactly by BFS,
+iterative Tarjan bridge finding and the exact cut-pair characterisation of
+Claim 5.6, so the common ``k <= 3`` verification never touches networkx
+max-flow.  Only the exact connectivity *value* of a 3-edge-connected graph
+still falls back to ``nx.edge_connectivity``.  The historical networkx
+implementations are kept as ``*_nx`` oracles for the differential tests.
 """
 
 from __future__ import annotations
@@ -13,12 +19,16 @@ from typing import Hashable, Iterable
 
 import networkx as nx
 
+from repro.graphs.fastgraph import FastGraph
+
 Edge = tuple[Hashable, Hashable]
 
 __all__ = [
     "edge_connectivity",
+    "edge_connectivity_nx",
     "is_k_edge_connected",
     "bridges",
+    "bridges_nx",
     "subgraph_weight",
     "verify_spanning_subgraph",
     "edge_set",
@@ -47,11 +57,40 @@ def edge_set(graph_or_edges: nx.Graph | Iterable[Edge]) -> frozenset[Edge]:
     return frozenset(canonical_edge(u, v) for u, v in edges)
 
 
+def _small_connectivity(fast: FastGraph) -> int:
+    """Exact edge connectivity when it is at most 2, else 3 meaning ">= 3".
+
+    Decided entirely on the CSR kernel: BFS for connectivity, iterative
+    Tarjan for bridges, min degree and the exact Claim 5.6 cut-pair test for
+    the 2-cut case.
+    """
+    if fast.n <= 1 or not fast.is_connected():
+        return 0
+    if fast.bridges():
+        return 1
+    degree = fast.min_degree()
+    if degree <= 2 or fast.has_cut_pair():
+        return 2
+    return 3
+
+
 def edge_connectivity(graph: nx.Graph) -> int:
     """Return the (global, unweighted) edge connectivity of *graph*.
 
-    A disconnected or single-vertex graph has edge connectivity 0.
+    A disconnected or single-vertex graph has edge connectivity 0.  Values
+    up to 2 are decided exactly on the flat-array kernel; only genuinely
+    3-edge-connected graphs pay for a networkx max-flow sweep.
     """
+    if graph.number_of_nodes() <= 1:
+        return 0
+    small = _small_connectivity(FastGraph.from_nx(graph))
+    if small < 3:
+        return small
+    return nx.edge_connectivity(graph)
+
+
+def edge_connectivity_nx(graph: nx.Graph) -> int:
+    """The historical all-networkx edge connectivity (differential oracle)."""
     if graph.number_of_nodes() <= 1:
         return 0
     if not nx.is_connected(graph):
@@ -65,15 +104,35 @@ def is_k_edge_connected(graph: nx.Graph, k: int) -> bool:
         return True
     if graph.number_of_nodes() <= 1:
         return False
+    fast = FastGraph.from_nx(graph)
     if k == 1:
-        return nx.is_connected(graph)
-    if min((d for _, d in graph.degree()), default=0) < k:
+        return fast.is_connected()
+    if fast.min_degree() < k:
         return False
+    if k == 2:
+        # Connected and bridgeless suffices; no need to look for 2-cuts.
+        return fast.is_connected() and not fast.bridges()
+    if k == 3:
+        # Exact without max-flow: connected, bridgeless, no 2-edge cut.
+        return _small_connectivity(fast) >= 3
     return edge_connectivity(graph) >= k
 
 
 def bridges(graph: nx.Graph) -> set[Edge]:
-    """Return the set of bridges (cut edges) of *graph* in canonical form."""
+    """Return the set of bridges (cut edges) of *graph* in canonical form.
+
+    Runs the iterative Tarjan low-link pass of the CSR kernel (works on any
+    number of components and does not recurse, so deep path-like graphs are
+    safe).
+    """
+    if graph.number_of_edges() == 0:
+        return set()
+    fast = FastGraph.from_nx(graph)
+    return {canonical_edge(*fast.edge_labels(eid)) for eid in fast.bridges()}
+
+
+def bridges_nx(graph: nx.Graph) -> set[Edge]:
+    """The historical networkx bridge finder (differential oracle)."""
     if graph.number_of_edges() == 0:
         return set()
     return {canonical_edge(u, v) for u, v in nx.bridges(graph)}

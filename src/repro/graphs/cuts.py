@@ -18,6 +18,12 @@ This module enumerates them:
 A cut is represented by the vertex set of one side; an edge *covers* the cut
 iff it crosses the bipartition, matching Definition 2.1 (removing the cut
 leaves exactly two components, and a crossing edge reconnects them).
+
+The enumerators run on the flat-array CSR kernel of
+:mod:`repro.graphs.fastgraph` (integer ids, skip-edge BFS verification,
+array union-find contraction) and return exactly the same :class:`Cut` sets
+as the historical dict-of-dicts implementations, which remain available as
+``*_nx`` oracles for the differential tests.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from typing import Hashable, Iterable, Sequence
 import networkx as nx
 
 from repro.graphs.connectivity import canonical_edge, edge_connectivity
+from repro.graphs.fastgraph import FastGraph
 
 Edge = tuple[Hashable, Hashable]
 
@@ -37,7 +44,9 @@ __all__ = [
     "Cut",
     "enumerate_bridge_cuts",
     "enumerate_cut_pairs",
+    "enumerate_cut_pairs_nx",
     "enumerate_min_cuts_contraction",
+    "enumerate_min_cuts_contraction_nx",
     "enumerate_cuts_exhaustive",
     "enumerate_cuts_of_size",
     "cut_is_covered",
@@ -97,26 +106,78 @@ def cut_is_covered(cut: Cut, edges: Iterable[Edge]) -> bool:
     return any(edge_covers_cut(edge, cut) for edge in edges)
 
 
+def _cut_from_side_ids(graph: nx.Graph, fast: FastGraph, side_ids: Iterable[int]) -> Cut:
+    """Build a :class:`Cut` of *graph* from kernel vertex ids (one side).
+
+    Produces exactly what ``Cut.from_side`` would, but computes the crossing
+    edges on the flat edge arrays instead of iterating ``graph.edges()``.
+    """
+    in_side = [False] * fast.n
+    for v in side_ids:
+        in_side[v] = True
+    labels = fast.labels
+    side = frozenset(labels[v] for v in range(fast.n) if in_side[v])
+    other = frozenset(labels[v] for v in range(fast.n) if not in_side[v])
+    if not side or not other:
+        raise ValueError("a cut side must be a proper non-empty subset of the vertices")
+    tail, head = fast.tail, fast.head
+    crossing = frozenset(
+        canonical_edge(labels[tail[eid]], labels[head[eid]])
+        for eid in range(fast.m)
+        if in_side[tail[eid]] != in_side[head[eid]]
+    )
+    return Cut(side=_canonical_side(side, other), edges=crossing)
+
+
 def enumerate_bridge_cuts(graph: nx.Graph) -> list[Cut]:
-    """Return one :class:`Cut` per bridge of a connected *graph* (cuts of size 1)."""
+    """Return one :class:`Cut` per bridge of a connected *graph* (cuts of size 1).
+
+    Bridges come from the kernel's iterative Tarjan pass and each side from a
+    skip-edge BFS; the graph is never copied.
+    """
+    fast = FastGraph.from_nx(graph)
     cuts = []
-    for u, v in nx.bridges(graph):
-        pruned = graph.copy()
-        pruned.remove_edge(u, v)
-        side = nx.node_connected_component(pruned, u)
-        cuts.append(Cut.from_side(graph, side))
+    for eid in fast.bridges():
+        # The cut side is the component containing one endpoint of the
+        # bridge (not components[0], which on a disconnected input could be
+        # an unrelated component whose "cut" the bridge does not cross).
+        endpoint = fast.tail[eid]
+        side = next(
+            component
+            for component in fast.components_without_edges((eid,))
+            if endpoint in component
+        )
+        cuts.append(_cut_from_side_ids(graph, fast, side))
     return cuts
 
 
 def enumerate_cut_pairs(graph: nx.Graph) -> list[Cut]:
     """Return all cuts of size 2 of a 2-edge-connected *graph* (exact).
 
-    Uses the characterisation of Claim 5.6: fix any spanning tree ``T``.
-    A pair ``{e, f}`` is a cut pair iff either
+    Uses the characterisation of Claim 5.6 on the flat-array kernel: fix any
+    spanning tree ``T``.  A pair ``{e, f}`` is a cut pair iff either
 
     1. ``e`` is a tree edge and ``f`` is the unique non-tree edge covering it, or
     2. ``e`` and ``f`` are tree edges covered by exactly the same non-tree edges.
+
+    Candidate pairs are verified by skip-edge BFS (exactly two components
+    must remain), so inputs that are not 2-edge-connected are handled
+    defensively exactly like the networkx oracle.
     """
+    if graph.number_of_nodes() < 2:
+        return []
+    fast = FastGraph.from_nx(graph)
+    if not fast.is_connected():
+        raise ValueError("cut-pair enumeration requires a connected graph")
+    cuts = []
+    for pair in fast.cut_pairs():
+        components = fast.components_without_edges(pair)
+        cuts.append(_cut_from_side_ids(graph, fast, components[0]))
+    return _dedupe(cuts)
+
+
+def enumerate_cut_pairs_nx(graph: nx.Graph) -> list[Cut]:
+    """The historical all-networkx cut-pair enumeration (differential oracle)."""
     if graph.number_of_nodes() < 2:
         return []
     if not nx.is_connected(graph):
@@ -223,7 +284,51 @@ def enumerate_min_cuts_contraction(
     find all of them with high probability.  The run count can be overridden
     for speed; all degree cuts of the right size are always included, and
     every returned cut is verified.
+
+    Contraction, crossing-edge counting and minimality verification all run
+    on the flat-array kernel (array union-find, skip-edge BFS); the graph is
+    never copied.
     """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    if n < 2:
+        return []
+    if runs is None:
+        runs = min(4 * n * n, 6000)
+
+    fast = FastGraph.from_nx(graph)
+    found: dict[frozenset, Cut] = {}
+
+    def record(side_ids: list[int]) -> None:
+        if not side_ids or len(side_ids) >= fast.n:
+            return
+        crossing = fast.crossing_edges(side_ids)
+        if len(crossing) != size:
+            return
+        if len(fast.components_without_edges(crossing)) != 2:
+            return
+        cut = _cut_from_side_ids(graph, fast, side_ids)
+        found[cut.side] = cut
+
+    # Seed with all single-vertex (degree) cuts.
+    for v in range(fast.n):
+        if fast.degree(v) == size:
+            record([v])
+
+    for _ in range(runs):
+        order = list(range(fast.m))
+        rng.shuffle(order)
+        record(fast.contract_to_side(order))
+    return list(found.values())
+
+
+def enumerate_min_cuts_contraction_nx(
+    graph: nx.Graph,
+    size: int,
+    seed: int | random.Random | None = None,
+    runs: int | None = None,
+) -> list[Cut]:
+    """The historical dict-based contraction enumerator (differential oracle)."""
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     n = graph.number_of_nodes()
     if n < 2:

@@ -1,0 +1,507 @@
+"""Flat-array CSR graph kernel for the solver hot paths.
+
+Every solver in :mod:`repro.core` bottoms out in the same verification and
+enumeration primitives -- connectivity checks, bridge finding, cut-pair
+enumeration, Karger contraction, MST union-find, BFS/diameter -- and going
+through networkx's hashable-node dict-of-dicts representation makes those
+primitives pay for Python dict traffic rather than algorithmic work.
+
+:class:`FastGraph` is an integer-relabelled compressed-sparse-row view of an
+undirected graph: vertices are ``0..n-1``, edges are ``0..m-1``, and the
+adjacency structure is three flat lists (``indptr``, ``adj``, ``adj_eid``).
+All kernels below are loops over those flat lists:
+
+* :meth:`FastGraph.bridges` -- iterative (non-recursive) Tarjan low-link,
+  safe for deep graphs that would blow the Python recursion limit;
+* :meth:`FastGraph.cut_pairs` -- the exact spanning-tree covering-set
+  characterisation of Claim 5.6 on integer arrays;
+* :meth:`FastGraph.components_without_edges` -- BFS that skips a few edge
+  ids, used to verify candidate cuts without copying the graph;
+* :meth:`FastGraph.hop_diameter` / :meth:`FastGraph.eccentricity` -- BFS
+  sweeps on the CSR arrays;
+* :class:`ArrayUnionFind` -- path-compressed, size-united union-find over
+  plain lists, shared by Kruskal and the Karger contraction pass.
+
+``from_nx`` / ``to_nx`` converters preserve node labels (``labels[i]`` is the
+original label of vertex ``i``), so the kernel slots under the existing
+networkx-facing APIs without changing any observable output: the networkx
+implementations stay available as oracles for the differential tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+__all__ = ["ArrayUnionFind", "FastGraph", "hop_diameter"]
+
+
+class ArrayUnionFind:
+    """Union-find over ``0..n-1`` with path compression and union by size."""
+
+    __slots__ = ("parent", "size", "components")
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+        self.size = [1] * n
+        self.components = n
+
+    def find(self, item: int) -> int:
+        parent = self.parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; returns False when already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        size = self.size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        size[ra] += size[rb]
+        self.components -= 1
+        return True
+
+
+class FastGraph:
+    """An integer-relabelled CSR snapshot of an undirected networkx graph.
+
+    Attributes:
+        n: Number of vertices (ids ``0..n-1``).
+        m: Number of edges (ids ``0..m-1``, in ``graph.edges()`` order).
+        labels: Vertex id -> original node label.
+        index: Original node label -> vertex id.
+        tail / head: Edge id -> endpoint vertex ids (as encountered).
+        weight: Edge id -> integer ``weight`` attribute (1 when absent).
+        indptr: CSR row pointer, length ``n + 1``.
+        adj: Neighbour vertex id per adjacency slot (length ``2m``).
+        adj_eid: Edge id per adjacency slot (length ``2m``).
+    """
+
+    __slots__ = (
+        "n", "m", "labels", "index", "tail", "head", "weight",
+        "indptr", "adj", "adj_eid",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Hashable],
+        edges: Iterable[tuple[int, int, int]],
+    ) -> None:
+        """Build from relabelled data: *edges* yields ``(u, v, weight)`` ids."""
+        self.labels = list(labels)
+        self.index = {label: i for i, label in enumerate(self.labels)}
+        self.n = len(self.labels)
+        tail: list[int] = []
+        head: list[int] = []
+        weight: list[int] = []
+        degree = [0] * self.n
+        for u, v, w in edges:
+            tail.append(u)
+            head.append(v)
+            weight.append(w)
+            degree[u] += 1
+            degree[v] += 1
+        self.tail, self.head, self.weight = tail, head, weight
+        self.m = len(tail)
+        indptr = [0] * (self.n + 1)
+        for v in range(self.n):
+            indptr[v + 1] = indptr[v] + degree[v]
+        cursor = indptr[:-1].copy()
+        adj = [0] * (2 * self.m)
+        adj_eid = [0] * (2 * self.m)
+        for eid in range(self.m):
+            u, v = tail[eid], head[eid]
+            slot = cursor[u]
+            adj[slot], adj_eid[slot] = v, eid
+            cursor[u] = slot + 1
+            slot = cursor[v]
+            adj[slot], adj_eid[slot] = u, eid
+            cursor[v] = slot + 1
+        self.indptr, self.adj, self.adj_eid = indptr, adj, adj_eid
+
+    # ------------------------------------------------------------ converters
+    @classmethod
+    def from_nx(cls, graph: nx.Graph) -> "FastGraph":
+        """Snapshot *graph* (node order = ``graph.nodes()``, edge order = ``graph.edges()``)."""
+        labels = list(graph.nodes())
+        index = {label: i for i, label in enumerate(labels)}
+        edges = (
+            (index[u], index[v], data.get("weight", 1))
+            for u, v, data in graph.edges(data=True)
+        )
+        return cls(labels, edges)
+
+    def to_nx(self) -> nx.Graph:
+        """Rebuild a networkx graph with the original node labels and weights."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.labels)
+        labels = self.labels
+        for eid in range(self.m):
+            graph.add_edge(
+                labels[self.tail[eid]], labels[self.head[eid]],
+                weight=self.weight[eid],
+            )
+        return graph
+
+    def edge_labels(self, eid: int) -> tuple[Hashable, Hashable]:
+        """The original-label endpoints of edge *eid*."""
+        return self.labels[self.tail[eid]], self.labels[self.head[eid]]
+
+    # ------------------------------------------------------------ basic facts
+    def degree(self, v: int) -> int:
+        return self.indptr[v + 1] - self.indptr[v]
+
+    def min_degree(self) -> int:
+        if self.n == 0:
+            return 0
+        indptr = self.indptr
+        return min(indptr[v + 1] - indptr[v] for v in range(self.n))
+
+    # -------------------------------------------------------------------- BFS
+    def bfs_levels(self, source: int) -> list[int]:
+        """Hop distance from *source* to every vertex (-1 when unreachable).
+
+        Level-synchronous frontier BFS: the inner loop iterates a CSR slice,
+        which is a flat C-level list walk.
+        """
+        dist = [-1] * self.n
+        dist[source] = 0
+        frontier = [source]
+        indptr, adj = self.indptr, self.adj
+        level = 0
+        while frontier:
+            level += 1
+            next_frontier: list[int] = []
+            for v in frontier:
+                for w in adj[indptr[v]:indptr[v + 1]]:
+                    if dist[w] < 0:
+                        dist[w] = level
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return dist
+
+    def eccentricity(self, source: int) -> int:
+        """Maximum hop distance from *source*; raises on a disconnected graph."""
+        dist = self.bfs_levels(source)
+        furthest = max(dist)
+        if min(dist) < 0:
+            raise ValueError("graph is not connected; eccentricity is infinite")
+        return furthest
+
+    def hop_diameter(self) -> int:
+        """The hop diameter (one BFS sweep per vertex); raises when disconnected.
+
+        The CSR arrays are handed to ``scipy.sparse.csgraph`` verbatim when
+        scipy is available (C BFS per source); the pure-Python frontier sweep
+        is the fallback so the kernel stays dependency-light.
+        """
+        if self.n == 0:
+            raise ValueError("diameter of an empty graph is undefined")
+        if self.n == 1:
+            return 0
+        try:
+            import numpy as np
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import shortest_path
+        except ImportError:  # pragma: no cover - scipy ships with the repo deps
+            return max(self.eccentricity(v) for v in range(self.n))
+        matrix = csr_matrix(
+            (
+                np.ones(len(self.adj), dtype=np.int8),
+                np.asarray(self.adj, dtype=np.int64),
+                np.asarray(self.indptr, dtype=np.int64),
+            ),
+            shape=(self.n, self.n),
+        )
+        dist = shortest_path(matrix, method="D", unweighted=True)
+        furthest = dist.max()
+        if np.isinf(furthest):
+            raise ValueError("graph is not connected; eccentricity is infinite")
+        return int(furthest)
+
+    def is_connected(self) -> bool:
+        if self.n == 0:
+            return False
+        seen = self._component_of(0)
+        return len(seen) == self.n
+
+    def _component_of(self, source: int) -> list[int]:
+        """Vertex ids of the connected component containing *source*."""
+        seen = [False] * self.n
+        seen[source] = True
+        queue = deque([source])
+        members = [source]
+        indptr, adj = self.indptr, self.adj
+        while queue:
+            v = queue.popleft()
+            for slot in range(indptr[v], indptr[v + 1]):
+                w = adj[slot]
+                if not seen[w]:
+                    seen[w] = True
+                    members.append(w)
+                    queue.append(w)
+        return members
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as vertex-id lists, in first-vertex order."""
+        comp = [-1] * self.n
+        components: list[list[int]] = []
+        indptr, adj = self.indptr, self.adj
+        for start in range(self.n):
+            if comp[start] >= 0:
+                continue
+            label = len(components)
+            comp[start] = label
+            members = [start]
+            queue = deque([start])
+            while queue:
+                v = queue.popleft()
+                for slot in range(indptr[v], indptr[v + 1]):
+                    w = adj[slot]
+                    if comp[w] < 0:
+                        comp[w] = label
+                        members.append(w)
+                        queue.append(w)
+            components.append(members)
+        return components
+
+    def components_without_edges(
+        self, removed: Iterable[int]
+    ) -> list[list[int]]:
+        """Connected components after deleting the edge ids in *removed*.
+
+        The graph is never copied: the BFS simply skips the removed slots.
+        Used to verify candidate cuts (a bipartition cut is minimal iff
+        exactly two components remain).
+        """
+        skip = set(removed)
+        comp = [-1] * self.n
+        components: list[list[int]] = []
+        indptr, adj, adj_eid = self.indptr, self.adj, self.adj_eid
+        for start in range(self.n):
+            if comp[start] >= 0:
+                continue
+            label = len(components)
+            comp[start] = label
+            members = [start]
+            queue = deque([start])
+            while queue:
+                v = queue.popleft()
+                for slot in range(indptr[v], indptr[v + 1]):
+                    if adj_eid[slot] in skip:
+                        continue
+                    w = adj[slot]
+                    if comp[w] < 0:
+                        comp[w] = label
+                        members.append(w)
+                        queue.append(w)
+            components.append(members)
+        return components
+
+    # ---------------------------------------------------------------- bridges
+    def bridges(self) -> list[int]:
+        """Edge ids of all bridges (iterative Tarjan low-link, any # components)."""
+        n = self.n
+        disc = [0] * n  # 0 = unvisited; timestamps start at 1
+        low = [0] * n
+        bridges: list[int] = []
+        indptr, adj, adj_eid = self.indptr, self.adj, self.adj_eid
+        clock = 1
+        # Explicit DFS stack: per frame the vertex, the edge id to its parent
+        # and the next adjacency slot to scan.
+        stack_v: list[int] = []
+        stack_peid: list[int] = []
+        stack_slot: list[int] = []
+        for root in range(n):
+            if disc[root]:
+                continue
+            disc[root] = low[root] = clock
+            clock += 1
+            stack_v.append(root)
+            stack_peid.append(-1)
+            stack_slot.append(indptr[root])
+            while stack_v:
+                v = stack_v[-1]
+                slot = stack_slot[-1]
+                if slot < indptr[v + 1]:
+                    stack_slot[-1] = slot + 1
+                    eid = adj_eid[slot]
+                    if eid == stack_peid[-1]:
+                        continue  # the tree edge back to the parent
+                    w = adj[slot]
+                    if disc[w]:
+                        if disc[w] < low[v]:
+                            low[v] = disc[w]
+                    else:
+                        disc[w] = low[w] = clock
+                        clock += 1
+                        stack_v.append(w)
+                        stack_peid.append(eid)
+                        stack_slot.append(indptr[w])
+                else:
+                    stack_v.pop()
+                    peid = stack_peid.pop()
+                    stack_slot.pop()
+                    if stack_v:
+                        u = stack_v[-1]
+                        if low[v] < low[u]:
+                            low[u] = low[v]
+                        if low[v] > disc[u]:
+                            bridges.append(peid)
+        return bridges
+
+    # ---------------------------------------------------------- spanning tree
+    def bfs_tree(self, root: int = 0) -> tuple[list[int], list[int], list[int]]:
+        """BFS spanning tree of a connected graph from *root*.
+
+        Returns ``(parent, parent_eid, depth)`` arrays (-1 for the root);
+        raises when the graph is disconnected.
+        """
+        parent = [-1] * self.n
+        parent_eid = [-1] * self.n
+        depth = [-1] * self.n
+        depth[root] = 0
+        queue = deque([root])
+        reached = 1
+        indptr, adj, adj_eid = self.indptr, self.adj, self.adj_eid
+        while queue:
+            v = queue.popleft()
+            d = depth[v] + 1
+            for slot in range(indptr[v], indptr[v + 1]):
+                w = adj[slot]
+                if depth[w] < 0:
+                    depth[w] = d
+                    parent[w] = v
+                    parent_eid[w] = adj_eid[slot]
+                    reached += 1
+                    queue.append(w)
+        if reached != self.n:
+            raise ValueError("graph is not connected; it has no spanning tree")
+        return parent, parent_eid, depth
+
+    # -------------------------------------------------------------- cut pairs
+    def cut_pairs(self) -> list[tuple[int, int]]:
+        """All 2-edge cuts of a connected graph, as sorted edge-id pairs (exact).
+
+        Every Claim 5.6 candidate is verified by a skip-edge BFS, so the
+        result is exact even on inputs that are not 2-edge-connected (bridge
+        pairs are filtered out).
+        """
+        return sorted(
+            pair
+            for pair in self._cut_pair_candidates()
+            if len(self.components_without_edges(pair)) == 2
+        )
+
+    def has_cut_pair(self) -> bool:
+        """True iff the connected graph has a 2-edge cut.
+
+        Stops at the first candidate that survives verification instead of
+        enumerating (and verifying) every 2-cut.
+        """
+        return any(
+            len(self.components_without_edges(pair)) == 2
+            for pair in self._cut_pair_candidates()
+        )
+
+    def _cut_pair_candidates(self) -> set[tuple[int, int]]:
+        """Unverified cut-pair candidates per the characterisation of Claim 5.6.
+
+        The spanning-tree argument on flat arrays: fix a BFS tree ``T``;
+        ``{e, f}`` is a cut pair iff either ``e`` is a tree edge and ``f``
+        the unique non-tree edge covering it, or ``e`` and ``f`` are tree
+        edges with identical covering sets.  Callers must verify each
+        candidate by a skip-edge BFS (exactly two components must remain).
+        """
+        if self.n < 2:
+            return set()
+        parent, parent_eid, depth = self.bfs_tree(0)
+        is_tree = [False] * self.m
+        for eid in parent_eid:
+            if eid >= 0:
+                is_tree[eid] = True
+        # cover[t]: non-tree edge ids covering tree edge t, in increasing id
+        # order (each non-tree edge contributes to a tree edge at most once).
+        cover: dict[int, list[int]] = {
+            eid: [] for eid in parent_eid if eid >= 0
+        }
+        tail, head = self.tail, self.head
+        for eid in range(self.m):
+            if is_tree[eid]:
+                continue
+            a, b = tail[eid], head[eid]
+            while a != b:
+                if depth[a] >= depth[b]:
+                    cover[parent_eid[a]].append(eid)
+                    a = parent[a]
+                else:
+                    cover[parent_eid[b]].append(eid)
+                    b = parent[b]
+        candidates: set[tuple[int, int]] = set()
+        # Case 1: a tree edge covered by exactly one non-tree edge.
+        for t, covering in cover.items():
+            if len(covering) == 1:
+                f = covering[0]
+                candidates.add((t, f) if t < f else (f, t))
+        # Case 2: tree edges with identical cover sets.
+        by_cover: dict[tuple[int, ...], list[int]] = {}
+        for t, covering in cover.items():
+            by_cover.setdefault(tuple(covering), []).append(t)
+        for group in by_cover.values():
+            if len(group) < 2:
+                continue
+            group.sort()
+            for i, t1 in enumerate(group):
+                for t2 in group[i + 1:]:
+                    candidates.add((t1, t2))
+        return candidates
+
+    # ------------------------------------------------------------ contraction
+    def crossing_edges(self, side: Iterable[int]) -> list[int]:
+        """Edge ids crossing the bipartition identified by vertex-id set *side*."""
+        in_side = [False] * self.n
+        for v in side:
+            in_side[v] = True
+        tail, head = self.tail, self.head
+        return [
+            eid for eid in range(self.m) if in_side[tail[eid]] != in_side[head[eid]]
+        ]
+
+    def contract_to_side(self, order: Sequence[int]) -> list[int]:
+        """One Karger contraction run; returns the smaller super-node's vertices.
+
+        *order* is the (pre-shuffled) sequence of edge ids to contract.  The
+        returned side identifies a bipartition; which of the two sides comes
+        back is irrelevant downstream because cuts are canonicalised.
+        """
+        forest = ArrayUnionFind(self.n)
+        tail, head = self.tail, self.head
+        for eid in order:
+            if forest.components <= 2:
+                break
+            forest.union(tail[eid], head[eid])
+        groups: dict[int, list[int]] = {}
+        for v in range(self.n):
+            groups.setdefault(forest.find(v), []).append(v)
+        # Smaller side; ties broken by first-created group (lowest root id,
+        # which is also first-vertex order since roots are minimal members'
+        # representatives under union-by-size with stable tie-breaking).
+        return min(groups.values(), key=len)
+
+
+def hop_diameter(graph: nx.Graph) -> int:
+    """The hop diameter of a connected networkx graph via the CSR kernel.
+
+    Drop-in fast path for ``nx.diameter`` on unweighted connected graphs;
+    raises ``ValueError`` when the graph is empty or disconnected.
+    """
+    return FastGraph.from_nx(graph).hop_diameter()

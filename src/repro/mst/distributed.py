@@ -24,6 +24,7 @@ import networkx as nx
 from repro.congest.cost_model import CostModel
 from repro.congest.metrics import RoundLedger
 from repro.congest.primitives import simulate_bfs_tree
+from repro.graphs.fastgraph import hop_diameter
 from repro.mst.fragments import FragmentDecomposition, decompose_tree_into_fragments
 from repro.mst.sequential import minimum_spanning_tree
 from repro.trees.rooted import RootedTree
@@ -75,7 +76,7 @@ def build_mst_with_fragments(
         root = min(graph.nodes(), key=repr)
 
     ledger = RoundLedger()
-    diameter = nx.diameter(graph)
+    diameter = hop_diameter(graph)
     cost = CostModel(n=graph.number_of_nodes(), diameter=diameter)
 
     if simulate_bfs and graph.number_of_nodes() > 1:

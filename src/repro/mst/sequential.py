@@ -14,36 +14,11 @@ from typing import Hashable
 import networkx as nx
 
 from repro.graphs.connectivity import canonical_edge
+from repro.graphs.fastgraph import ArrayUnionFind
 
 Edge = tuple[Hashable, Hashable]
 
 __all__ = ["minimum_spanning_tree", "prim_mst", "mst_weight"]
-
-
-class _UnionFind:
-    """Union-find with path compression and union by size."""
-
-    def __init__(self, items) -> None:
-        self.parent = {item: item for item in items}
-        self.size = {item: 1 for item in items}
-
-    def find(self, item):
-        root = item
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[item] != root:
-            self.parent[item], item = root, self.parent[item]
-        return root
-
-    def union(self, a, b) -> bool:
-        ra, rb = self.find(a), self.find(b)
-        if ra == rb:
-            return False
-        if self.size[ra] < self.size[rb]:
-            ra, rb = rb, ra
-        self.parent[rb] = ra
-        self.size[ra] += self.size[rb]
-        return True
 
 
 def minimum_spanning_tree(graph: nx.Graph) -> nx.Graph:
@@ -51,23 +26,29 @@ def minimum_spanning_tree(graph: nx.Graph) -> nx.Graph:
 
     Edges are compared by ``(weight, canonical edge id)`` so the result is
     unique even when weights repeat; weights are copied onto the output tree.
+    The forest is tracked by the path-compressed array union-find of the CSR
+    kernel (nodes are relabelled to ``0..n-1`` up front), so the inner loop
+    touches flat integer lists rather than node-keyed dicts.
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("cannot compute an MST of an empty graph")
-    if not nx.is_connected(graph):
-        raise ValueError("the graph is not connected; it has no spanning tree")
+    index = {node: i for i, node in enumerate(graph.nodes())}
     ordered = sorted(
         (data.get("weight", 1), canonical_edge(u, v))
         for u, v, data in graph.edges(data=True)
     )
-    forest = _UnionFind(graph.nodes())
+    forest = ArrayUnionFind(len(index))
     tree = nx.Graph()
     tree.add_nodes_from(graph.nodes())
+    remaining = len(index) - 1
     for weight, (u, v) in ordered:
-        if forest.union(u, v):
+        if forest.union(index[u], index[v]):
             tree.add_edge(u, v, weight=weight)
-            if tree.number_of_edges() == graph.number_of_nodes() - 1:
+            remaining -= 1
+            if remaining == 0:
                 break
+    if remaining:
+        raise ValueError("the graph is not connected; it has no spanning tree")
     return tree
 
 

@@ -27,6 +27,7 @@ from repro.congest.cost_model import CostModel
 from repro.congest.metrics import RoundLedger
 from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS, rounded_cost_effectiveness
 from repro.graphs.connectivity import canonical_edge
+from repro.graphs.fastgraph import hop_diameter
 from repro.tap.cover import CoverageState
 from repro.trees.rooted import RootedTree
 
@@ -105,7 +106,7 @@ def distributed_tap(
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     n = graph.number_of_nodes()
     if cost_model is None:
-        cost_model = CostModel(n=n, diameter=nx.diameter(graph))
+        cost_model = CostModel(n=n, diameter=hop_diameter(graph))
     if segment_diameter is None:
         segment_diameter = cost_model.sqrt_n
     if max_iterations is None:

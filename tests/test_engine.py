@@ -12,6 +12,7 @@ import json
 
 import pytest
 
+from repro.analysis.code_version import code_version_for
 from repro.analysis.engine import (
     CODE_VERSION,
     CacheFidelityError,
@@ -90,8 +91,11 @@ class TestTrialJob:
         assert base.cache_key() != base.cache_key(code_version="other")
 
     def test_default_cache_key_uses_derived_code_version(self):
+        # e1 declares its solver modules, so the derived tag is narrower than
+        # the conservative all-modules CODE_VERSION.
         job = TrialJob.make("e1", {"n": 16}, 1)
-        assert job.cache_key() == job.cache_key(CODE_VERSION)
+        assert job.cache_key() == job.cache_key(code_version_for("e1"))
+        assert job.cache_key() != job.cache_key(CODE_VERSION)
 
 
 class TestRegistry:

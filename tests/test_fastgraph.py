@@ -1,0 +1,169 @@
+"""The flat-array CSR kernel: unit tests and the fastgraph differential suite.
+
+Two layers:
+
+* direct unit tests of :class:`repro.graphs.fastgraph.FastGraph` and
+  :class:`~repro.graphs.fastgraph.ArrayUnionFind` on hand-built graphs
+  (converters, BFS, bridges, cut pairs, skip-edge components);
+* the seeded ``diff-fastgraph-*`` differential sweep, wired through the
+  experiment engine: 50 instances of **every** registered generator family
+  per kernel primitive, each asserting exact parity with the historical
+  networkx oracles (bridges, edge connectivity, cut pairs, contraction min
+  cuts, Kruskal MST weight, hop diameter).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.analysis.differential import fastgraph_jobs
+from repro.analysis.engine import ExperimentEngine
+from repro.analysis.runner import trial_groups
+from repro.graphs.connectivity import canonical_edge
+from repro.graphs.fastgraph import ArrayUnionFind, FastGraph, hop_diameter
+from repro.graphs.generators import FAMILIES
+
+N_GRAPHS = 50
+SWEEP_BACKEND = "threads"
+SWEEP_WORKERS = 4
+
+
+# ---------------------------------------------------------------- unit tests
+class TestArrayUnionFind:
+    def test_union_find_merges_and_counts_components(self):
+        forest = ArrayUnionFind(5)
+        assert forest.components == 5
+        assert forest.union(0, 1)
+        assert forest.union(1, 2)
+        assert not forest.union(0, 2)
+        assert forest.components == 3
+        assert forest.find(0) == forest.find(2)
+        assert forest.find(3) != forest.find(0)
+
+    def test_path_compression_flattens_chains(self):
+        forest = ArrayUnionFind(64)
+        for i in range(63):
+            forest.union(i, i + 1)
+        root = forest.find(63)
+        assert forest.parent[63] == root
+        assert forest.components == 1
+
+
+class TestFastGraphConversion:
+    def test_roundtrip_preserves_labels_edges_and_weights(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=3)
+        graph.add_edge("b", "c", weight=7)
+        graph.add_node("isolated")
+        fast = FastGraph.from_nx(graph)
+        assert fast.n == 4 and fast.m == 2
+        back = fast.to_nx()
+        assert set(back.nodes()) == set(graph.nodes())
+        assert back["a"]["b"]["weight"] == 3
+        assert back["b"]["c"]["weight"] == 7
+
+    def test_edge_labels_and_degrees(self):
+        graph = nx.cycle_graph(4)
+        fast = FastGraph.from_nx(graph)
+        assert fast.min_degree() == 2
+        assert all(fast.degree(v) == 2 for v in range(4))
+        endpoints = {frozenset(fast.edge_labels(eid)) for eid in range(fast.m)}
+        assert endpoints == {frozenset(edge) for edge in graph.edges()}
+
+
+class TestFastGraphBfs:
+    def test_bfs_levels_match_networkx_shortest_paths(self):
+        graph = nx.random_regular_graph(3, 16, seed=4)
+        fast = FastGraph.from_nx(graph)
+        source = fast.index[0]
+        levels = fast.bfs_levels(source)
+        oracle = nx.single_source_shortest_path_length(graph, 0)
+        assert {fast.labels[v]: d for v, d in enumerate(levels)} == dict(oracle)
+
+    def test_diameter_matches_networkx(self):
+        for graph in (nx.path_graph(9), nx.cycle_graph(10), nx.complete_graph(5)):
+            assert hop_diameter(graph) == nx.diameter(graph)
+
+    def test_diameter_raises_on_disconnected_and_empty_graphs(self):
+        with pytest.raises(ValueError):
+            hop_diameter(nx.empty_graph(0))
+        disconnected = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            hop_diameter(disconnected)
+
+    def test_components_without_edges_skips_without_copying(self):
+        graph = nx.cycle_graph(6)
+        fast = FastGraph.from_nx(graph)
+        eid_of = {
+            frozenset(fast.edge_labels(eid)): eid for eid in range(fast.m)
+        }
+        assert len(fast.components_without_edges(())) == 1
+        assert len(fast.components_without_edges((eid_of[frozenset({0, 1})],))) == 1
+        two = fast.components_without_edges(
+            (eid_of[frozenset({0, 1})], eid_of[frozenset({3, 4})])
+        )
+        assert len(two) == 2
+        assert sorted(len(side) for side in two) == [3, 3]
+
+
+class TestFastGraphBridges:
+    def test_path_graph_every_edge_is_a_bridge(self):
+        fast = FastGraph.from_nx(nx.path_graph(8))
+        assert len(fast.bridges()) == 7
+
+    def test_cycle_has_no_bridges_and_barbell_has_one(self):
+        assert FastGraph.from_nx(nx.cycle_graph(8)).bridges() == []
+        barbell = nx.barbell_graph(4, 0)  # two K4s joined by one edge
+        fast = FastGraph.from_nx(barbell)
+        eids = fast.bridges()
+        assert len(eids) == 1
+        assert canonical_edge(*fast.edge_labels(eids[0])) == canonical_edge(3, 4)
+
+    def test_deep_path_does_not_hit_the_recursion_limit(self):
+        # An iterative Tarjan must handle paths much deeper than
+        # sys.getrecursionlimit(); a recursive one would crash here.
+        deep = nx.path_graph(5000)
+        assert len(FastGraph.from_nx(deep).bridges()) == 4999
+
+
+class TestFastGraphCutPairs:
+    def test_pure_cycle_every_edge_pair_is_a_cut_pair(self):
+        fast = FastGraph.from_nx(nx.cycle_graph(5))
+        assert len(fast.cut_pairs()) == 10  # C(5, 2)
+
+    def test_three_connected_graph_has_no_cut_pairs(self):
+        assert FastGraph.from_nx(nx.complete_graph(5)).cut_pairs() == []
+
+    def test_bridge_pairs_are_filtered_by_verification(self):
+        # Two triangles joined by one bridge: no 2-edge cut of the required
+        # "exactly two components" shape involves the bridge twice.
+        graph = nx.Graph(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+        )
+        fast = FastGraph.from_nx(graph)
+        pairs = fast.cut_pairs()
+        bridge_eids = set(fast.bridges())
+        assert all(not (set(pair) <= bridge_eids) for pair in pairs)
+
+
+# ------------------------------------------------- engine-driven differential
+def _run_sweep(name: str, jobs) -> list:
+    engine = ExperimentEngine(workers=SWEEP_WORKERS, backend=SWEEP_BACKEND)
+    results = engine.run_jobs(name, jobs)
+    # Any parity violation raises inside the trial; trial_groups re-raises it
+    # here with the offending (family, seed) pair and traceback attached.
+    trial_groups(results, key=lambda r: r.config["family"])
+    return results
+
+
+class TestFastgraphDifferentialSweep:
+    """>= 50 seeded graphs per generator family, per kernel primitive."""
+
+    @pytest.mark.parametrize("name", sorted(fastgraph_jobs(1)))
+    def test_parity_with_networkx_oracles(self, name):
+        jobs = fastgraph_jobs(N_GRAPHS)[name]
+        results = _run_sweep(name, jobs)
+        assert len(results) == N_GRAPHS * len(FAMILIES)
+        assert {r.config["family"] for r in results} == set(FAMILIES)
+        assert all(r.ok for r in results)

@@ -1,6 +1,6 @@
-"""Performance smoke tests for the experiment engine.
+"""Performance smoke tests for the experiment engine and the CSR kernel.
 
-Three guards, all part of the default test run:
+Guards in the default test run:
 
 * E1 in smoke mode (tiny sizes, serial) finishes within a generous
   wall-clock budget, so an accidental complexity regression in the solver or
@@ -9,26 +9,49 @@ Three guards, all part of the default test run:
   (the acceptance bar for the on-disk trial cache), checked on the serial
   backend **and** on the threads backend -- the cold sweep runs once and both
   replays share its cache, so the extra backend costs only a replay;
+* the flat-array kernel's cold verification path (connectivity + bridges +
+  cut pairs + diameter, the primitives under every E2/E6 trial) is at least
+  3x faster than the historical networkx oracles on an n >= 200 instance;
+  a stricter multi-family sweep of the same guard runs behind the ``slow``
+  marker;
+* ``kecss bench --dry-run`` emits baseline JSON that passes the published
+  schema check (and a written baseline round-trips through it);
 * timings are printed so the speedups are visible in the test log with
   ``-s``.
 """
 
 from __future__ import annotations
 
+import json
 import time
 
+import networkx as nx
 import pytest
 
+from repro.analysis.bench import validate_baseline
 from repro.analysis.engine import ExperimentEngine
 from repro.analysis.experiments import (
     experiment_e1_two_ecss_approximation,
     experiment_e4_k_ecss,
 )
+from repro.cli import main as kecss_main
+from repro.graphs.connectivity import (
+    bridges,
+    bridges_nx,
+    edge_connectivity_nx,
+    is_k_edge_connected,
+)
+from repro.graphs.cuts import enumerate_cut_pairs, enumerate_cut_pairs_nx
+from repro.graphs.fastgraph import hop_diameter
+from repro.graphs.generators import clique_chain, random_k_edge_connected_graph
 
 # Generous ceiling: the smoke-mode sweep takes well under a second locally;
 # the budget only exists to catch order-of-magnitude regressions.
 E1_SMOKE_BUDGET_SECONDS = 30.0
 WARM_CACHE_MIN_SPEEDUP = 5.0
+#: Acceptance bar for the CSR kernel on the cold E2/E6 verification path at
+#: n >= 200 (measured ~5-6x locally; 3x leaves headroom for CI noise).
+FASTGRAPH_MIN_SPEEDUP = 3.0
 
 
 def _run_e1_e4(engine):
@@ -83,3 +106,90 @@ def test_warm_cache_replay_is_at_least_5x_faster(cold_run, backend, workers):
     # The replayed tables are bit-identical to the cold ones.
     assert warm_e1.rows == cold_e1.rows
     assert warm_e4.rows == cold_e4.rows
+
+
+# ------------------------------------------------- fastgraph cold-path guard
+def _best_of(function, repetitions: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _cold_path_speedup(graph) -> float:
+    """Kernel vs oracle timing of the E2/E6 verification primitives."""
+
+    def fast_path():
+        is_k_edge_connected(graph, 2)
+        bridges(graph)
+        enumerate_cut_pairs(graph)
+        hop_diameter(graph)
+
+    def oracle_path():
+        edge_connectivity_nx(graph) >= 2
+        bridges_nx(graph)
+        enumerate_cut_pairs_nx(graph)
+        nx.diameter(graph)
+
+    fast = _best_of(fast_path)
+    oracle = _best_of(oracle_path)
+    return oracle / fast
+
+
+def test_fastgraph_cold_path_speedup_at_n256():
+    """The tentpole acceptance bar: >= 3x on the E2/E6 family at n >= 200."""
+    graph = random_k_edge_connected_graph(256, 2, extra_edge_prob=3.0 / 256, seed=3)
+    speedup = _cold_path_speedup(graph)
+    print(f"\nfastgraph cold path (weighted-sparse n=256): {speedup:.1f}x")
+    assert speedup >= FASTGRAPH_MIN_SPEEDUP, (
+        f"fastgraph cold path only {speedup:.1f}x faster than the networkx "
+        f"oracles at n=256 (bar: {FASTGRAPH_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "label, graph_factory",
+    [
+        ("weighted-sparse-n256",
+         lambda: random_k_edge_connected_graph(256, 2, extra_edge_prob=3.0 / 256, seed=3)),
+        ("weighted-sparse-n400",
+         lambda: random_k_edge_connected_graph(400, 2, extra_edge_prob=3.0 / 400, seed=5)),
+        ("clique-chain-n256", lambda: clique_chain(64, 4, 2)),
+        ("clique-chain-n512", lambda: clique_chain(128, 4, 2)),
+    ],
+)
+def test_fastgraph_cold_path_speedup_sweep(label, graph_factory):
+    """Strict multi-family sweep of the same guard (slow-marked)."""
+    speedup = _cold_path_speedup(graph_factory())
+    print(f"\nfastgraph cold path ({label}): {speedup:.1f}x")
+    assert speedup >= FASTGRAPH_MIN_SPEEDUP, (
+        f"{label}: only {speedup:.1f}x (bar: {FASTGRAPH_MIN_SPEEDUP}x)"
+    )
+
+
+# ------------------------------------------------------ bench baseline schema
+def test_bench_dry_run_emits_schema_valid_baseline_json(capsys):
+    """``kecss bench e7 --dry-run`` prints a baseline passing the schema check."""
+    exit_code = kecss_main(["bench", "e7", "--dry-run"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert validate_baseline(payload) == []
+    assert payload["experiment"] == "e7"
+    assert payload["summary"]["trial_count"] == len(payload["trials"]) > 0
+    assert all(trial["error"] is None for trial in payload["trials"])
+
+
+def test_bench_writes_and_revalidates_a_baseline(tmp_path, capsys):
+    """``kecss bench e7 --out ...`` writes a file that round-trips the schema
+    and matches itself under ``--against`` (bit-identical aggregates)."""
+    out = tmp_path / "BENCH_e7.json"
+    assert kecss_main(["bench", "e7", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert validate_baseline(payload) == []
+    capsys.readouterr()
+    assert kecss_main(["bench", "e7", "--against", str(out)]) == 0
+    assert "aggregates match" in capsys.readouterr().out
