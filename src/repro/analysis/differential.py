@@ -24,6 +24,16 @@ min-cut enumeration (same seed, hence identical RNG stream) and the Kruskal
 MST, across every registered generator family in
 :data:`repro.graphs.generators.FAMILIES`.
 
+The ``diff-tap-*`` and ``diff-labels-*`` trials do the same for the
+flat-array TAP coverage/voting kernel (:mod:`repro.tap.fastcover`) and the
+O(m + n) XOR labelling: the distributed voting TAP (with and without
+symmetry breaking), the sequential greedy TAP and the cycle-space labelling
+(random and exact modes) are run against their historical set-based
+implementations (``distributed_tap_nx`` / ``greedy_tap_nx`` /
+``compute_labels_nx``) with identical seeds, asserting bit-identical
+augmentation sets, weights, iteration counts, per-iteration histories and
+label maps.
+
 Instance sizes are derived from ``(config, seed)`` exactly as the historical
 per-seed pytest parametrization did, so every backend sees the same graphs
 and every assertion stays deterministic.
@@ -57,6 +67,8 @@ from repro.graphs.cuts import (
     enumerate_min_cuts_contraction,
     enumerate_min_cuts_contraction_nx,
 )
+from repro.cycle_space.cut_pairs import cut_pairs_from_labels
+from repro.cycle_space.labels import compute_labels, compute_labels_nx
 from repro.graphs.fastgraph import hop_diameter
 from repro.graphs.generators import (
     FAMILIES,
@@ -64,6 +76,9 @@ from repro.graphs.generators import (
     random_k_edge_connected_graph,
 )
 from repro.mst.sequential import minimum_spanning_tree, mst_weight
+from repro.tap.distributed import distributed_tap, distributed_tap_nx
+from repro.tap.greedy import greedy_tap, greedy_tap_nx
+from repro.trees.rooted import RootedTree
 
 __all__ = [
     "diff_two_ecss_trial",
@@ -73,10 +88,15 @@ __all__ = [
     "diff_fastgraph_cut_pairs_trial",
     "diff_fastgraph_min_cuts_trial",
     "diff_fastgraph_mst_trial",
+    "diff_tap_distributed_trial",
+    "diff_tap_greedy_trial",
+    "diff_labels_random_trial",
+    "diff_labels_exact_trial",
     "two_ecss_jobs",
     "three_ecss_jobs",
     "k_ecss_jobs",
     "fastgraph_jobs",
+    "tap_labels_jobs",
     "medium_sweep_jobs",
 ]
 
@@ -293,6 +313,142 @@ def diff_fastgraph_mst_trial(config: Config, seed: int) -> dict:
     return {"n": graph.number_of_nodes(), "mst_weight": float(weight)}
 
 
+# ----------------------------------------------------------- tap and labels
+#: Module dependencies of the TAP / labelling differential trials: the cache
+#: code-version covers both the kernels under test and their oracles.
+_TAP_MODULES = (
+    "repro.analysis.differential",
+    "repro.tap",
+    "repro.trees",
+    "repro.graphs",
+    "repro.mst",
+    "repro.congest",
+    "repro.core.cost_effectiveness",
+)
+_LABEL_MODULES = (
+    "repro.analysis.differential",
+    "repro.cycle_space",
+    "repro.trees",
+    "repro.graphs",
+)
+
+
+def _tap_instance(config: Config, seed: int) -> tuple[nx.Graph, RootedTree]:
+    """One seeded family instance plus its rooted MST (as the TAP stage sees it)."""
+    graph = _fastgraph_instance(config, seed)
+    tree = RootedTree(
+        minimum_spanning_tree(graph), root=min(graph.nodes(), key=repr)
+    )
+    return graph, tree
+
+
+@register_trial("diff-tap-distributed", modules=_TAP_MODULES)
+def diff_tap_distributed_trial(config: Config, seed: int) -> dict:
+    """Fast distributed TAP vs the set-algebra oracle: bit-identical runs.
+
+    Both consume the same RNG stream, so augmentation set, weight, iteration
+    count and every per-iteration history record (including the maximum
+    rounded cost-effectiveness fractions) must match exactly -- with and
+    without the symmetry-breaking voting step.
+    """
+    graph, tree = _tap_instance(config, seed)
+    fast = distributed_tap(graph, tree, seed=seed)
+    oracle = distributed_tap_nx(graph, tree, seed=seed)
+    if fast.augmentation != oracle.augmentation:
+        raise AssertionError(
+            f"augmentations disagree: only-fast="
+            f"{sorted(fast.augmentation - oracle.augmentation)!r} "
+            f"only-oracle={sorted(oracle.augmentation - fast.augmentation)!r}"
+        )
+    if (fast.weight, fast.iterations) != (oracle.weight, oracle.iterations):
+        raise AssertionError(
+            f"weight/iterations disagree: fast ({fast.weight}, {fast.iterations}) "
+            f"vs oracle ({oracle.weight}, {oracle.iterations})"
+        )
+    if fast.history != oracle.history:
+        raise AssertionError("per-iteration histories disagree")
+    if fast.ledger.total_rounds != oracle.ledger.total_rounds:
+        raise AssertionError("ledger round charges disagree")
+    naive = distributed_tap(graph, tree, seed=seed, symmetry_breaking=False)
+    naive_oracle = distributed_tap_nx(graph, tree, seed=seed, symmetry_breaking=False)
+    if (naive.augmentation, naive.weight, naive.iterations) != (
+        naive_oracle.augmentation, naive_oracle.weight, naive_oracle.iterations
+    ):
+        raise AssertionError("no-symmetry-breaking runs disagree")
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "iterations": fast.iterations,
+        "aug_size": len(fast.augmentation),
+        "weight": float(fast.weight),
+    }
+
+
+@register_trial("diff-tap-greedy", modules=_TAP_MODULES)
+def diff_tap_greedy_trial(config: Config, seed: int) -> dict:
+    """Array-scan greedy TAP vs the per-step rescan oracle: identical output."""
+    graph, tree = _tap_instance(config, seed)
+    fast = greedy_tap(graph, tree)
+    oracle = greedy_tap_nx(graph, tree)
+    if (fast.augmentation, fast.weight, fast.steps) != (
+        oracle.augmentation, oracle.weight, oracle.steps
+    ):
+        raise AssertionError(
+            f"greedy TAP disagrees: fast (w={fast.weight}, steps={fast.steps}, "
+            f"|A|={len(fast.augmentation)}) vs oracle (w={oracle.weight}, "
+            f"steps={oracle.steps}, |A|={len(oracle.augmentation)})"
+        )
+    return {
+        "n": graph.number_of_nodes(),
+        "steps": fast.steps,
+        "weight": float(fast.weight),
+    }
+
+
+@register_trial("diff-labels-random", modules=_LABEL_MODULES)
+def diff_labels_random_trial(config: Config, seed: int) -> dict:
+    """O(m+n) XOR labelling vs the per-path oracle: identical label maps."""
+    graph = _fastgraph_instance(config, seed)
+    fast = compute_labels(graph, seed=seed)
+    oracle = compute_labels_nx(graph, seed=seed)
+    if fast.bits != oracle.bits:
+        raise AssertionError(f"bits disagree: {fast.bits} vs {oracle.bits}")
+    if fast.labels != oracle.labels:
+        differing = [
+            edge for edge, label in fast.labels.items()
+            if oracle.labels.get(edge) != label
+        ]
+        raise AssertionError(
+            f"{len(differing)} labels disagree (e.g. {differing[:3]!r})"
+        )
+    if fast.tree_paths != oracle.tree_paths:
+        raise AssertionError("lazily materialised tree paths disagree")
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "bits": fast.bits,
+    }
+
+
+@register_trial("diff-labels-exact", modules=_LABEL_MODULES)
+def diff_labels_exact_trial(config: Config, seed: int) -> dict:
+    """Exact covering-set labels and the cut pairs detected from them."""
+    graph = _fastgraph_instance(config, seed)
+    fast = compute_labels(graph, mode="exact")
+    oracle = compute_labels_nx(graph, mode="exact")
+    if fast.labels != oracle.labels:
+        raise AssertionError("exact covering-set labels disagree")
+    if fast.tree_paths != oracle.tree_paths:
+        raise AssertionError("exact-mode tree paths disagree")
+    fast_pairs = cut_pairs_from_labels(fast)
+    oracle_pairs = cut_pairs_from_labels(oracle)
+    if fast_pairs != oracle_pairs:
+        raise AssertionError(
+            f"detected cut pairs disagree: {len(fast_pairs)} vs {len(oracle_pairs)}"
+        )
+    return {"n": graph.number_of_nodes(), "cut_pairs": len(fast_pairs)}
+
+
 # ------------------------------------------------------------- job builders
 def _jobs(experiment: str, family: str, seeds: Sequence[int], **extra) -> list[TrialJob]:
     return [
@@ -344,6 +500,28 @@ def fastgraph_jobs(n_graphs: int = 50) -> dict[str, list[TrialJob]]:
             "diff-fastgraph-cut-pairs",
             "diff-fastgraph-min-cuts",
             "diff-fastgraph-mst",
+        )
+    }
+
+
+def tap_labels_jobs(n_graphs: int = 50) -> dict[str, list[TrialJob]]:
+    """The TAP/labelling-kernel differential grid, keyed by trial name.
+
+    *n_graphs* seeded instances of **every** registered generator family per
+    trial, mirroring :func:`fastgraph_jobs` (the acceptance bar is >= 50 per
+    family).
+    """
+    return {
+        name: [
+            job
+            for family in sorted(FAMILIES)
+            for job in _jobs(name, family, range(n_graphs))
+        ]
+        for name in (
+            "diff-tap-distributed",
+            "diff-tap-greedy",
+            "diff-labels-random",
+            "diff-labels-exact",
         )
     }
 

@@ -51,27 +51,26 @@ def exact_tap(graph: nx.Graph, tree: RootedTree) -> tuple[frozenset[Edge], int]:
     (the graph is not 2-edge-connected).
     """
     state = CoverageState(graph, tree)
+    fast = state.fast
     links = state.non_tree_edges
     if not links:
         raise ValueError("the graph has no non-tree edges; TAP is infeasible")
-    link_index = {edge: i for i, edge in enumerate(links)}
-    weights = np.array([state.weight(edge) for edge in links], dtype=float)
+    weights = np.array(fast.nt_weight, dtype=float)
 
     rows = []
-    for tree_edge in state.tree_edges:
-        index = state.tree_edge_index(tree_edge)
+    for index, tree_edge in enumerate(fast.tree_edges):
         row = np.zeros(len(links))
-        covering = [edge for edge in links if index in state.path(edge)]
+        # The transposed path CSR gives every link over this tree edge directly.
+        covering = fast.covering(index)
         if not covering:
             raise ValueError(
                 f"tree edge {tree_edge!r} is a bridge of the graph; TAP is infeasible"
             )
-        for edge in covering:
-            row[link_index[edge]] = 1
+        row[covering] = 1
         rows.append(row)
     constraint = LinearConstraint(np.array(rows), lb=1, ub=np.inf)
     solution = _solve_binary_program(weights, [constraint])
-    chosen = frozenset(edge for edge, i in link_index.items() if solution[i] == 1)
+    chosen = frozenset(links[j] for j in range(len(links)) if solution[j] == 1)
     return chosen, int(sum(state.weight(edge) for edge in chosen))
 
 

@@ -86,11 +86,8 @@ def covered_cut_pairs(
     labels appearing on ``S^1_e``.  The caller supplies the tree path via the
     labelling's tree (the candidate edge need not belong to the labelled graph).
     """
-    from repro.trees.lca import LCAIndex  # local import to avoid cycle at module load
-
     u, v = candidate
-    lca = LCAIndex(labelling.tree)
-    path = lca.tree_path_edges(u, v)
+    path = labelling.lca_index().tree_path_edges(u, v)
     n_phi = label_multiplicities(labelling)
     on_path = Counter(labelling.labels[canonical_edge(*t)] for t in path)
     total = 0

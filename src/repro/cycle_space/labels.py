@@ -14,14 +14,22 @@ Two label modes are provided:
   edges; equality of exact labels characterises cut pairs *deterministically*
   (Claim 5.6), which the tests use as ground truth and the algorithms can use
   to factor out label-collision effects.
+
+Random-mode tree labels are produced in O(m + n): each non-tree edge XOR-tags
+its two endpoints and one leaves-to-root scan accumulates subtree XORs --
+the label of tree edge ``(v, p(v))`` is the subtree XOR at ``v``, because the
+tags of a non-tree edge with both endpoints inside the subtree cancel.  This
+is exactly the single convergecast the distributed implementation performs
+(Theorem 4.2 of [32]).  Exact-mode covering sets are materialised over the
+flat-array path extractor.  The historical per-path accumulation survives as
+:func:`compute_labels_nx`, the oracle of the ``diff-labels-*`` suite.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable
 
 import networkx as nx
 
@@ -32,10 +40,9 @@ from repro.trees.rooted import RootedTree
 Edge = tuple[Hashable, Hashable]
 Label = object  # int (random mode) or frozenset (exact mode)
 
-__all__ = ["EdgeLabelling", "compute_labels"]
+__all__ = ["EdgeLabelling", "compute_labels", "compute_labels_nx"]
 
 
-@dataclass
 class EdgeLabelling:
     """The labelling ``phi`` of all edges of a 2-edge-connected graph.
 
@@ -45,16 +52,30 @@ class EdgeLabelling:
         labels: Map from canonical edge to its label.
         bits: Number of label bits (0 for exact mode).
         mode: ``"random"`` or ``"exact"``.
-        tree_paths: Cached map from non-tree edge to the tree edges it covers
-            (``S^1_e`` in the paper's notation).
+
+    The map from non-tree edge to the tree edges it covers (``S^1_e`` in the
+    paper's notation) is exposed as :attr:`tree_paths` /
+    :meth:`covering_path`; it is materialised lazily, so the O(m + n)
+    random-mode labelling never pays the O(sum of path lengths) it replaced.
     """
 
-    graph: nx.Graph
-    tree: RootedTree
-    labels: dict[Edge, Label]
-    bits: int
-    mode: str
-    tree_paths: dict[Edge, frozenset[Edge]]
+    def __init__(
+        self,
+        graph: nx.Graph,
+        tree: RootedTree,
+        labels: dict[Edge, Label],
+        bits: int,
+        mode: str,
+        tree_paths: dict[Edge, frozenset[Edge]] | None = None,
+        lca: LCAIndex | None = None,
+    ) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.labels = labels
+        self.bits = bits
+        self.mode = mode
+        self._tree_paths = tree_paths
+        self._lca = lca
 
     def label(self, u: Hashable, v: Hashable) -> Label:
         """Return ``phi({u, v})``."""
@@ -71,9 +92,51 @@ class EdgeLabelling:
             if canonical_edge(u, v) not in tree_edges
         ]
 
+    def lca_index(self) -> LCAIndex:
+        """A (cached) LCA index over the labelling's tree."""
+        if self._lca is None:
+            self._lca = LCAIndex(self.tree)
+        return self._lca
+
+    @property
+    def tree_paths(self) -> dict[Edge, frozenset[Edge]]:
+        """Map from non-tree edge to the tree edges it covers (lazy)."""
+        if self._tree_paths is None:
+            lca = self.lca_index()
+            self._tree_paths = {
+                edge: frozenset(lca.tree_path_edges(*edge))
+                for edge in self.non_tree_edges()
+            }
+        return self._tree_paths
+
     def covering_path(self, non_tree_edge: Edge) -> frozenset[Edge]:
         """Return ``S^1_e``, the tree edges on the fundamental cycle of *non_tree_edge*."""
         return self.tree_paths[canonical_edge(*non_tree_edge)]
+
+
+def _prepare(
+    graph: nx.Graph,
+    tree: RootedTree | None,
+    bits: int | None,
+    mode: str,
+) -> tuple[RootedTree, int, list[Edge]]:
+    """Shared validation + defaults of both labelling implementations."""
+    if graph.number_of_nodes() < 2:
+        raise ValueError("labelling needs at least two vertices")
+    if mode not in {"random", "exact"}:
+        raise ValueError("mode must be 'random' or 'exact'")
+    if tree is None:
+        tree = RootedTree.bfs_tree(graph)
+    n = graph.number_of_nodes()
+    if bits is None:
+        bits = 4 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+    tree_edge_set = set(tree.tree_edges())
+    non_tree_edges = [
+        canonical_edge(u, v)
+        for u, v in graph.edges()
+        if canonical_edge(u, v) not in tree_edge_set
+    ]
+    return tree, bits, non_tree_edges
 
 
 def compute_labels(
@@ -94,35 +157,95 @@ def compute_labels(
             union bound of Lemma 5.4 leaves polynomially small error.
         mode: ``"random"`` (paper) or ``"exact"`` (covering-set labels).
         seed: Randomness for the random mode.
-        lca: Optional pre-built LCA index over *tree*.
+        lca: Optional pre-built LCA index over *tree* (reused by the 3-ECSS
+            driver across iterations; only exact mode and the lazy
+            ``tree_paths`` need it).
 
     In the distributed implementation the tree-edge labels are produced by a
     single leaves-to-root scan of the BFS tree (Theorem 4.2 of [32], O(D)
-    rounds); here the same recurrence is evaluated centrally and charged O(D)
-    by the callers' ledgers.
+    rounds); here the same recurrence -- endpoint XOR tags, subtree
+    accumulation -- is evaluated centrally in O(m + n) and charged O(D) by
+    the callers' ledgers.
     """
-    if graph.number_of_nodes() < 2:
-        raise ValueError("labelling needs at least two vertices")
-    if mode not in {"random", "exact"}:
-        raise ValueError("mode must be 'random' or 'exact'")
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    if tree is None:
-        tree = RootedTree.bfs_tree(graph)
+    tree, bits, non_tree_edges = _prepare(graph, tree, bits, mode)
+
+    labels: dict[Edge, Label] = {}
+
+    if mode == "random":
+        for edge in non_tree_edges:
+            labels[edge] = rng.getrandbits(bits)
+        # Endpoint XOR tags: tree edge (v, p(v)) is crossed by exactly the
+        # non-tree edges with an odd number of endpoints in the subtree of v,
+        # so its label is the subtree XOR of the tags (Theorem 4.2 of [32]).
+        order = tree.bfs_order()
+        index = {node: i for i, node in enumerate(order)}
+        tags = [0] * len(order)
+        for edge in non_tree_edges:
+            label = labels[edge]
+            u, v = edge
+            tags[index[u]] ^= label
+            tags[index[v]] ^= label
+        # bfs_order puts every parent before its children, so the reverse
+        # scan sees each subtree complete before folding it into the parent.
+        for i in range(len(order) - 1, 0, -1):
+            node = order[i]
+            parent = tree.parent(node)
+            labels[canonical_edge(node, parent)] = tags[i]
+            tags[index[parent]] ^= tags[i]
+        return EdgeLabelling(
+            graph=graph, tree=tree, labels=labels, bits=bits, mode=mode, lca=lca
+        )
+
+    # Exact mode: the label of a tree edge is its covering set, materialised
+    # per child vertex over the integer-array path extractor.
     if lca is None:
         lca = LCAIndex(tree)
-    n = graph.number_of_nodes()
-    if bits is None:
-        bits = 4 * max(1, math.ceil(math.log2(max(n, 2)))) + 8
+    index_of, paths = lca.index, lca.paths
+    covering: list[set[Edge]] = [set() for _ in range(len(lca.nodes))]
+    tree_paths: dict[Edge, frozenset[Edge]] = {}
+    for edge in non_tree_edges:
+        labels[edge] = frozenset({edge})
+        u, v = edge
+        children = paths.path_edges(index_of[u], index_of[v])
+        for child in children:
+            covering[child].add(edge)
+        tree_paths[edge] = frozenset(
+            lca.parent_edges[child] for child in children
+        )
+    for child, tree_edge in enumerate(lca.parent_edges):
+        if tree_edge is not None:
+            labels[tree_edge] = frozenset(covering[child])
+    return EdgeLabelling(
+        graph=graph, tree=tree, labels=labels, bits=0, mode=mode,
+        tree_paths=tree_paths, lca=lca,
+    )
 
+
+# --------------------------------------------------------------------- oracle
+def compute_labels_nx(
+    graph: nx.Graph,
+    tree: RootedTree | None = None,
+    bits: int | None = None,
+    mode: str = "random",
+    seed: int | random.Random | None = None,
+    lca: LCAIndex | None = None,
+) -> EdgeLabelling:
+    """The historical per-path accumulation (reference oracle).
+
+    Draws the same RNG stream and produces identical labels to
+    :func:`compute_labels`, but XORs every non-tree label onto each tree edge
+    of its path individually -- O(sum of path lengths).  The
+    ``diff-labels-*`` differential suite asserts the parity.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    tree, bits, non_tree_edges = _prepare(graph, tree, bits, mode)
+    if lca is None:
+        lca = LCAIndex(tree)
     tree_edge_set = set(tree.tree_edges())
+
     labels: dict[Edge, Label] = {}
     tree_paths: dict[Edge, frozenset[Edge]] = {}
-
-    non_tree_edges = [
-        canonical_edge(u, v)
-        for u, v in graph.edges()
-        if canonical_edge(u, v) not in tree_edge_set
-    ]
     for edge in non_tree_edges:
         tree_paths[edge] = frozenset(lca.tree_path_edges(*edge))
 
@@ -146,10 +269,6 @@ def compute_labels(
         bits = 0
 
     return EdgeLabelling(
-        graph=graph,
-        tree=tree,
-        labels=labels,
-        bits=bits,
-        mode=mode,
-        tree_paths=tree_paths,
+        graph=graph, tree=tree, labels=labels, bits=bits, mode=mode,
+        tree_paths=tree_paths, lca=lca,
     )

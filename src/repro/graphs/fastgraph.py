@@ -20,7 +20,11 @@ All kernels below are loops over those flat lists:
 * :meth:`FastGraph.hop_diameter` / :meth:`FastGraph.eccentricity` -- BFS
   sweeps on the CSR arrays;
 * :class:`ArrayUnionFind` -- path-compressed, size-united union-find over
-  plain lists, shared by Kruskal and the Karger contraction pass.
+  plain lists, shared by Kruskal and the Karger contraction pass;
+* :class:`TreePathIndex` -- Euler-tour LCA (sparse-table RMQ, O(1) per
+  query) plus ancestor-array tree-path extraction over integer parent/depth
+  arrays, the extractor under ``LCAIndex.tree_path_edges`` and the TAP
+  coverage kernel (:mod:`repro.tap.fastcover`).
 
 ``from_nx`` / ``to_nx`` converters preserve node labels (``labels[i]`` is the
 original label of vertex ``i``), so the kernel slots under the existing
@@ -35,7 +39,121 @@ from typing import Hashable, Iterable, Sequence
 
 import networkx as nx
 
-__all__ = ["ArrayUnionFind", "FastGraph", "hop_diameter"]
+__all__ = ["ArrayUnionFind", "FastGraph", "TreePathIndex", "hop_diameter"]
+
+
+class TreePathIndex:
+    """Euler-tour LCA and tree-path extraction over integer arrays.
+
+    Vertices are ``0..n-1``; *parent* maps each vertex to its parent id
+    (``-1`` for the unique root) and *depth* to its distance from the root.
+    Construction is an iterative Euler tour plus a sparse table over it
+    (O(n log n)); ``lca`` is two RMQ lookups (O(1)) and ``path_edges``
+    returns the path as the *child endpoints* of its tree edges, so callers
+    that key tree edges by their child vertex (every solver kernel does)
+    never touch a hashable edge object.
+    """
+
+    __slots__ = ("n", "parent", "depth", "root", "_first", "_table", "_logs")
+
+    def __init__(self, parent: Sequence[int], depth: Sequence[int]) -> None:
+        self.parent = list(parent)
+        self.depth = list(depth)
+        n = len(self.parent)
+        self.n = n
+        children: list[list[int]] = [[] for _ in range(n)]
+        root = -1
+        for v, p in enumerate(self.parent):
+            if p < 0:
+                if root >= 0:
+                    raise ValueError("parent array has more than one root")
+                root = v
+            else:
+                children[p].append(v)
+        if root < 0:
+            raise ValueError("parent array has no root")
+        self.root = root
+
+        # Iterative Euler tour: every vertex is appended on entry and again
+        # after each child returns, so any (u, v) range of the tour contains
+        # their LCA as its minimum-depth entry.
+        euler: list[int] = [root]
+        first = [-1] * n
+        first[root] = 0
+        stack_v = [root]
+        stack_ci = [0]
+        while stack_v:
+            v = stack_v[-1]
+            ci = stack_ci[-1]
+            kids = children[v]
+            if ci < len(kids):
+                stack_ci[-1] = ci + 1
+                w = kids[ci]
+                first[w] = len(euler)
+                euler.append(w)
+                stack_v.append(w)
+                stack_ci.append(0)
+            else:
+                stack_v.pop()
+                stack_ci.pop()
+                if stack_v:
+                    euler.append(stack_v[-1])
+        self._first = first
+
+        # Sparse table for range-minimum (by depth) over the tour.
+        m = len(euler)
+        logs = [0] * (m + 1)
+        for i in range(2, m + 1):
+            logs[i] = logs[i >> 1] + 1
+        self._logs = logs
+        depth_of = self.depth
+        table = [euler]
+        level = 1
+        while (1 << level) <= m:
+            prev = table[-1]
+            half = 1 << (level - 1)
+            row = [0] * (m - (1 << level) + 1)
+            for i in range(len(row)):
+                a, b = prev[i], prev[i + half]
+                row[i] = a if depth_of[a] <= depth_of[b] else b
+            table.append(row)
+            level += 1
+        self._table = table
+
+    def lca(self, u: int, v: int) -> int:
+        """The lowest common ancestor of vertices *u* and *v*."""
+        left, right = self._first[u], self._first[v]
+        if left > right:
+            left, right = right, left
+        level = self._logs[right - left + 1]
+        a = self._table[level][left]
+        b = self._table[level][right - (1 << level) + 1]
+        return a if self.depth[a] <= self.depth[b] else b
+
+    def distance(self, u: int, v: int) -> int:
+        """The number of tree edges between *u* and *v*."""
+        return self.depth[u] + self.depth[v] - 2 * self.depth[self.lca(u, v)]
+
+    def path_edges(self, u: int, v: int) -> list[int]:
+        """Tree edges on the ``u``-``v`` path, as child-endpoint vertex ids.
+
+        The order matches the historical ``LCAIndex.tree_path_edges``: first
+        the edges climbing from *u* to the LCA, then those climbing from *v*.
+        """
+        if u == v:
+            return []
+        ancestor = self.lca(u, v)
+        parent = self.parent
+        out: list[int] = []
+        x = u
+        while x != ancestor:
+            out.append(x)
+            x = parent[x]
+        x = v
+        while x != ancestor:
+            out.append(x)
+            x = parent[x]
+        return out
 
 
 class ArrayUnionFind:

@@ -1,10 +1,18 @@
 """Coverage bookkeeping for tree augmentation.
 
-``CoverageState`` materialises, for every non-tree edge ``e`` of the input
-graph, the set ``S_e`` of tree edges on its tree path (the cuts of size 1 it
-covers), and maintains the set of tree edges already covered by the
-augmentation built so far.  Both the distributed and the sequential TAP
-algorithms, as well as the exact ILP baseline, are built on top of it.
+``CoverageState`` exposes, for every non-tree edge ``e`` of the input graph,
+the set ``S_e`` of tree edges on its tree path (the cuts of size 1 it covers)
+and maintains the set of tree edges already covered by the augmentation built
+so far.  Both the distributed and the sequential TAP algorithms, as well as
+the exact ILP baseline, are built on top of it.
+
+Since the flat-array port it is a thin facade over
+:class:`repro.tap.fastcover.FastCoverage`: the paths live in CSR arrays over
+integer tree-edge ids, the uncovered set is maintained incrementally, and
+the TAP hot loops bypass the facade entirely and drive the kernel directly
+(``state.fast``).  The historical ``frozenset``-based implementation survives
+as :class:`CoverageStateNX`, the reference oracle of the ``diff-tap-*``
+differential suite.
 """
 
 from __future__ import annotations
@@ -14,12 +22,13 @@ from typing import Hashable, Iterable
 import networkx as nx
 
 from repro.graphs.connectivity import canonical_edge
+from repro.tap.fastcover import FastCoverage
 from repro.trees.lca import LCAIndex
 from repro.trees.rooted import RootedTree
 
 Edge = tuple[Hashable, Hashable]
 
-__all__ = ["CoverageState"]
+__all__ = ["CoverageState", "CoverageStateNX"]
 
 
 class CoverageState:
@@ -29,6 +38,105 @@ class CoverageState:
         graph: The weighted 2-edge-connected graph ``G``.
         tree: The spanning tree ``T`` to augment (typically the MST).
         lca: Optional pre-built LCA index over *tree*.
+
+    The tree-edge index space (``tree_edge_index`` / ``tree_edge_by_index``)
+    is the tree edges sorted by ``repr``, exactly as it always was; the
+    underlying :class:`FastCoverage` kernel is exposed as ``self.fast`` for
+    the array-native solver loops.
+    """
+
+    def __init__(self, graph: nx.Graph, tree: RootedTree, lca: LCAIndex | None = None) -> None:
+        self.graph = graph
+        self.tree = tree
+        self.fast = FastCoverage(graph, tree, lca=lca)
+        self.lca = self.fast.lca
+        self._path_cache: dict[Edge, frozenset[int]] = {}
+
+    # --------------------------------------------------------------- queries
+    @property
+    def tree_edges(self) -> list[Edge]:
+        """All tree edges (cuts of size 1) in canonical form."""
+        return list(self.fast.tree_edges)
+
+    @property
+    def non_tree_edges(self) -> list[Edge]:
+        """All non-tree edges of the graph (the augmentation candidates)."""
+        return list(self.fast.nt_edges)
+
+    def weight(self, edge: Edge) -> int:
+        """Weight of a non-tree *edge*."""
+        return self.fast.nt_weight[self.fast.nt_index[canonical_edge(*edge)]]
+
+    def path(self, edge: Edge) -> frozenset[int]:
+        """Indices of the tree edges covered by non-tree *edge* (the set ``S_e``)."""
+        edge = canonical_edge(*edge)
+        cached = self._path_cache.get(edge)
+        if cached is None:
+            cached = frozenset(self.fast.path_indices(self.fast.nt_index[edge]))
+            self._path_cache[edge] = cached
+        return cached
+
+    def tree_edge_by_index(self, index: int) -> Edge:
+        return self.fast.tree_edges[index]
+
+    def tree_edge_index(self, edge: Edge) -> int:
+        return self.fast.tree_edge_index[canonical_edge(*edge)]
+
+    def is_covered(self, tree_edge: Edge) -> bool:
+        """Is *tree_edge* covered by the augmentation added so far?"""
+        return bool(self.fast.covered[self.tree_edge_index(tree_edge)])
+
+    def covered_indices(self) -> frozenset[int]:
+        covered = self.fast.covered
+        return frozenset(t for t in range(self.fast.n_tree) if covered[t])
+
+    def uncovered_indices(self) -> frozenset[int]:
+        """The still-uncovered tree edges (incrementally maintained, O(|result|))."""
+        return frozenset(self.fast.uncovered)
+
+    def uncovered_on_path(self, edge: Edge) -> frozenset[int]:
+        """Return ``C_e``: the still-uncovered tree edges on the path of *edge*."""
+        return frozenset(
+            self.fast.uncovered_path_indices(self.fast.nt_index[canonical_edge(*edge)])
+        )
+
+    def uncovered_count(self, edge: Edge) -> int:
+        """Return ``|C_e|`` for non-tree *edge* (O(1): maintained incrementally)."""
+        return self.fast.nt_uncovered[self.fast.nt_index[canonical_edge(*edge)]]
+
+    def all_covered(self) -> bool:
+        """Are all tree edges covered (i.e. is ``T ∪ A`` 2-edge-connected)?"""
+        return self.fast.all_covered()
+
+    # --------------------------------------------------------------- updates
+    def cover_with(self, edge: Edge) -> set[int]:
+        """Mark the tree edges on the path of *edge* covered; return the newly covered ones."""
+        return set(self.fast.cover(self.fast.nt_index[canonical_edge(*edge)]))
+
+    def cover_with_many(self, edges: Iterable[Edge]) -> set[int]:
+        """Cover with several edges at once; return all newly covered indices."""
+        nt_index = self.fast.nt_index
+        return set(
+            self.fast.cover_many(
+                nt_index[canonical_edge(*edge)] for edge in edges
+            )
+        )
+
+    # ------------------------------------------------------------ validation
+    def verify_augmentation(self, edges: Iterable[Edge]) -> bool:
+        """Return ``True`` iff *edges* cover every tree edge (independent re-check)."""
+        nt_index = self.fast.nt_index
+        return self.fast.covers_everything(
+            nt_index[canonical_edge(*edge)] for edge in edges
+        )
+
+
+class CoverageStateNX:
+    """The historical ``frozenset``-based implementation (reference oracle).
+
+    Kept verbatim for the ``diff-tap-*`` differential suite: every query is
+    answered with Python set algebra over per-edge ``frozenset`` paths, the
+    behaviour the flat-array kernel must reproduce bit-identically.
     """
 
     def __init__(self, graph: nx.Graph, tree: RootedTree, lca: LCAIndex | None = None) -> None:
@@ -59,20 +167,16 @@ class CoverageState:
     # --------------------------------------------------------------- queries
     @property
     def tree_edges(self) -> list[Edge]:
-        """All tree edges (cuts of size 1) in canonical form."""
         return list(self._tree_edges)
 
     @property
     def non_tree_edges(self) -> list[Edge]:
-        """All non-tree edges of the graph (the augmentation candidates)."""
         return list(self._paths)
 
     def weight(self, edge: Edge) -> int:
-        """Weight of a non-tree *edge*."""
         return self._weights[canonical_edge(*edge)]
 
     def path(self, edge: Edge) -> frozenset[int]:
-        """Indices of the tree edges covered by non-tree *edge* (the set ``S_e``)."""
         return self._paths[canonical_edge(*edge)]
 
     def tree_edge_by_index(self, index: int) -> Edge:
@@ -82,7 +186,6 @@ class CoverageState:
         return self._tree_edge_index[canonical_edge(*edge)]
 
     def is_covered(self, tree_edge: Edge) -> bool:
-        """Is *tree_edge* covered by the augmentation added so far?"""
         return self._tree_edge_index[canonical_edge(*tree_edge)] in self._covered
 
     def covered_indices(self) -> frozenset[int]:
@@ -92,27 +195,22 @@ class CoverageState:
         return frozenset(range(len(self._tree_edges))) - frozenset(self._covered)
 
     def uncovered_on_path(self, edge: Edge) -> frozenset[int]:
-        """Return ``C_e``: the still-uncovered tree edges on the path of *edge*."""
         return self.path(edge) - frozenset(self._covered)
 
     def uncovered_count(self, edge: Edge) -> int:
-        """Return ``|C_e|`` for non-tree *edge*."""
         return len(self.uncovered_on_path(edge))
 
     def all_covered(self) -> bool:
-        """Are all tree edges covered (i.e. is ``T ∪ A`` 2-edge-connected)?"""
         return len(self._covered) == len(self._tree_edges)
 
     # --------------------------------------------------------------- updates
     def cover_with(self, edge: Edge) -> set[int]:
-        """Mark the tree edges on the path of *edge* covered; return the newly covered ones."""
         path = self.path(edge)
         new = set(path) - self._covered
         self._covered.update(path)
         return new
 
     def cover_with_many(self, edges: Iterable[Edge]) -> set[int]:
-        """Cover with several edges at once; return all newly covered indices."""
         new: set[int] = set()
         for edge in edges:
             new.update(self.cover_with(edge))
@@ -120,7 +218,6 @@ class CoverageState:
 
     # ------------------------------------------------------------ validation
     def verify_augmentation(self, edges: Iterable[Edge]) -> bool:
-        """Return ``True`` iff *edges* cover every tree edge (independent re-check)."""
         covered: set[int] = set()
         for edge in edges:
             covered.update(self.path(edge))

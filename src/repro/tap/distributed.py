@@ -12,6 +12,13 @@ The implementation reproduces the iteration structure, randomness and output
 exactly; the per-iteration round cost O(D + sqrt n) of Lemma 3.3 is charged on
 the ledger using the instance's measured diameter and maximum segment diameter
 (see DESIGN.md §6).
+
+The hot loop runs on the flat-array kernel
+:class:`repro.tap.fastcover.FastCoverage` (candidate scoring from the
+incrementally maintained ``|C_e|`` counters, voting on round-stamped
+ownership arrays); the historical set-algebra implementation survives as
+:func:`distributed_tap_nx`, the reference oracle of the ``diff-tap-*``
+differential suite, and both consume identical RNG streams and tie-breaks.
 """
 
 from __future__ import annotations
@@ -25,15 +32,14 @@ import networkx as nx
 
 from repro.congest.cost_model import CostModel
 from repro.congest.metrics import RoundLedger
-from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS, rounded_cost_effectiveness
-from repro.graphs.connectivity import canonical_edge
+from repro.core.cost_effectiveness import rounded_cost_effectiveness
 from repro.graphs.fastgraph import hop_diameter
-from repro.tap.cover import CoverageState
+from repro.tap.cover import CoverageState, CoverageStateNX
 from repro.trees.rooted import RootedTree
 
 Edge = tuple[Hashable, Hashable]
 
-__all__ = ["TapIterationStats", "TapResult", "distributed_tap"]
+__all__ = ["TapIterationStats", "TapResult", "distributed_tap", "distributed_tap_nx"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,25 @@ def _voting_threshold(candidate_uncovered: int) -> float:
     return candidate_uncovered / 8.0
 
 
+def _resolve_run_parameters(
+    graph: nx.Graph,
+    cost_model: CostModel | None,
+    segment_diameter: int | None,
+    max_iterations: int | None,
+) -> tuple[CostModel, int, int]:
+    """Shared defaults of the fast path and the reference oracle."""
+    n = graph.number_of_nodes()
+    if cost_model is None:
+        cost_model = CostModel(n=n, diameter=hop_diameter(graph))
+    if segment_diameter is None:
+        segment_diameter = cost_model.sqrt_n
+    if max_iterations is None:
+        # The w.h.p. bound is O(log^2 n) iterations (Lemma 3.11); every
+        # iteration covers at least one new tree edge, so n is a hard cap.
+        max_iterations = max(64 * cost_model.log_n ** 2, 4 * n) + 64
+    return cost_model, segment_diameter, max_iterations
+
+
 def distributed_tap(
     graph: nx.Graph,
     tree: RootedTree,
@@ -97,7 +122,7 @@ def distributed_tap(
             (the naive parallelisation the paper argues against; ablation E9).
         max_iterations: Safety bound; defaults to ``64 * log(n)^2 + 64``.
         coverage: Optional pre-built :class:`CoverageState` (reused by callers
-            that already computed the tree paths).
+            that already computed the tree paths, e.g. the 2-ECSS driver).
 
     Returns:
         A :class:`TapResult`; ``augmentation ∪ T`` is guaranteed to be
@@ -105,22 +130,154 @@ def distributed_tap(
     """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     n = graph.number_of_nodes()
-    if cost_model is None:
-        cost_model = CostModel(n=n, diameter=hop_diameter(graph))
-    if segment_diameter is None:
-        segment_diameter = cost_model.sqrt_n
-    if max_iterations is None:
-        # The w.h.p. bound is O(log^2 n) iterations (Lemma 3.11); every
-        # iteration covers at least one new tree edge, so n is a hard cap.
-        max_iterations = max(64 * cost_model.log_n ** 2, 4 * n) + 64
+    cost_model, segment_diameter, max_iterations = _resolve_run_parameters(
+        graph, cost_model, segment_diameter, max_iterations
+    )
 
     state = coverage if coverage is not None else CoverageState(graph, tree)
+    fast = state.fast
+    ledger = RoundLedger()
+    history: list[TapIterationStats] = []
+
+    m_nt = fast.m_nt
+    weights = fast.nt_weight
+    uncovered_counts = fast.nt_uncovered
+    reprs = fast.nt_repr
+    in_augmentation = bytearray(m_nt)
+    augmentation_ids: list[int] = []
+    iteration_rounds = cost_model.tap_iteration_rounds(segment_diameter)
+
+    # Zero-weight edges are added up front (Section 3: "at the beginning of the
+    # algorithm we add to A all the edges with weight 0").
+    zero_weight = fast.zero_weight_ids()
+    if zero_weight:
+        for j in zero_weight:
+            in_augmentation[j] = 1
+        augmentation_ids.extend(zero_weight)
+        fast.cover_many(zero_weight)
+        ledger.add(
+            "tap-zero-weight-setup",
+            iteration_rounds,
+            note="initial coverage by zero-weight edges (pre-iteration Line 6)",
+        )
+
+    iteration = 0
+    while not fast.all_covered():
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(
+                f"weighted TAP did not converge within {max_iterations} iterations; "
+                "is the input graph 2-edge-connected?"
+            )
+
+        # Line 1-2: rounded cost-effectiveness and candidate selection, as one
+        # scan over the incrementally maintained |C_e| array.  The rounded
+        # value of an edge with |C_e| = u > 0 and weight w > 0 is the power
+        # of two 2^e with 2^(e-1) <= u/w < 2^e, i.e. e = floor(log2(u/w)) + 1,
+        # so candidates compare by the integer exponent -- exactly, with no
+        # Fraction arithmetic in the loop.
+        max_exponent = None
+        scored: list[int] = []
+        exponents: list[int] = []
+        for j in range(m_nt):
+            if in_augmentation[j]:
+                continue
+            uncovered = uncovered_counts[j]
+            if uncovered == 0:
+                continue
+            weight = weights[j]
+            shift = uncovered.bit_length() - weight.bit_length()
+            if shift >= 0:
+                exponent = shift + 1 if uncovered >= weight << shift else shift
+            else:
+                exponent = shift + 1 if uncovered << -shift >= weight else shift
+            scored.append(j)
+            exponents.append(exponent)
+            if max_exponent is None or exponent > max_exponent:
+                max_exponent = exponent
+        if not scored:
+            raise RuntimeError(
+                "no non-tree edge covers the remaining uncovered tree edges; "
+                "the input graph is not 2-edge-connected"
+            )
+        maximum = (
+            Fraction(1 << max_exponent)
+            if max_exponent >= 0
+            else Fraction(1, 1 << -max_exponent)
+        )
+        candidates = sorted(
+            (j for j, exponent in zip(scored, exponents) if exponent == max_exponent),
+            key=reprs.__getitem__,
+        )
+
+        if symmetry_breaking:
+            # Line 3: one random number per candidate, drawn in the sorted
+            # candidate order (the historical RNG stream).
+            numbers = [rng.randint(1, n ** 8) for _ in candidates]
+            added = fast.voting_round(candidates, numbers)
+        else:
+            added = list(candidates)
+
+        newly_covered = fast.cover_many(added)
+        for j in added:
+            in_augmentation[j] = 1
+        augmentation_ids.extend(added)
+
+        ledger.add(
+            "tap-iteration",
+            iteration_rounds,
+            note=f"iteration {iteration} (Lemma 3.3: O(D + sqrt n))",
+        )
+        history.append(
+            TapIterationStats(
+                iteration=iteration,
+                max_rounded_effectiveness=maximum,
+                candidates=len(candidates),
+                added=len(added),
+                newly_covered=len(newly_covered),
+                uncovered_remaining=fast.uncovered_total(),
+            )
+        )
+
+    nt_edges = fast.nt_edges
+    return TapResult(
+        augmentation={nt_edges[j] for j in augmentation_ids},
+        weight=sum(weights[j] for j in augmentation_ids),
+        iterations=iteration,
+        ledger=ledger,
+        history=history,
+    )
+
+
+# --------------------------------------------------------------------- oracle
+def distributed_tap_nx(
+    graph: nx.Graph,
+    tree: RootedTree,
+    seed: int | random.Random | None = None,
+    segment_diameter: int | None = None,
+    cost_model: CostModel | None = None,
+    symmetry_breaking: bool = True,
+    max_iterations: int | None = None,
+    coverage: CoverageStateNX | None = None,
+) -> TapResult:
+    """The historical set-algebra implementation (reference oracle).
+
+    Bit-identical to :func:`distributed_tap` on every input -- same RNG
+    stream, candidate order, tie-breaks and ledger charges -- but runs on
+    :class:`CoverageStateNX` ``frozenset`` paths; the ``diff-tap-*``
+    differential suite asserts the parity.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    cost_model, segment_diameter, max_iterations = _resolve_run_parameters(
+        graph, cost_model, segment_diameter, max_iterations
+    )
+
+    state = coverage if coverage is not None else CoverageStateNX(graph, tree)
     ledger = RoundLedger()
     augmentation: set[Edge] = set()
     history: list[TapIterationStats] = []
 
-    # Zero-weight edges are added up front (Section 3: "at the beginning of the
-    # algorithm we add to A all the edges with weight 0").
     zero_weight = [edge for edge in state.non_tree_edges if state.weight(edge) == 0]
     if zero_weight:
         augmentation.update(zero_weight)
@@ -160,7 +317,7 @@ def distributed_tap(
         )
 
         if symmetry_breaking:
-            added = _voting_round(state, candidates, rng, n)
+            added = _voting_round_nx(state, candidates, rng, n)
         else:
             added = list(candidates)
 
@@ -193,8 +350,8 @@ def distributed_tap(
     )
 
 
-def _voting_round(
-    state: CoverageState,
+def _voting_round_nx(
+    state: CoverageStateNX,
     candidates: list[Edge],
     rng: random.Random,
     n: int,

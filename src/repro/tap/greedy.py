@@ -5,6 +5,14 @@ maximum cost-effectiveness yields an O(log n)-approximation (Chvatal / Johnson
 / Lovasz greedy set cover).  The distributed algorithm is designed to match
 this quality while adding many edges per iteration; the experiments (E1, E9)
 compare the two.
+
+The selection loop runs on the flat-array kernel: the candidate order is the
+``repr``-sorted edge list computed once up front, ``|C_e|`` comes from the
+incrementally maintained counter array, and cost-effectiveness ties are
+decided by integer cross-multiplication -- no list copies, ``repr`` calls or
+``Fraction`` allocations per step.  The output is identical to the historical
+implementation, which survives as :func:`greedy_tap_nx` for the differential
+suite.
 """
 
 from __future__ import annotations
@@ -15,12 +23,12 @@ from typing import Hashable
 import networkx as nx
 
 from repro.core.cost_effectiveness import cost_effectiveness
-from repro.tap.cover import CoverageState
+from repro.tap.cover import CoverageState, CoverageStateNX
 from repro.trees.rooted import RootedTree
 
 Edge = tuple[Hashable, Hashable]
 
-__all__ = ["GreedyTapResult", "greedy_tap"]
+__all__ = ["GreedyTapResult", "greedy_tap", "greedy_tap_nx"]
 
 
 @dataclass
@@ -41,9 +49,74 @@ def greedy_tap(
 
     Zero-weight edges are taken first (their cost-effectiveness is infinite),
     then edges are added one at a time by exact ``|C_e| / w(e)`` until every
-    tree edge is covered.
+    tree edge is covered.  Ties are broken towards the smallest edge ``repr``,
+    exactly as the historical scan did.
     """
     state = coverage if coverage is not None else CoverageState(graph, tree)
+    fast = state.fast
+    weights = fast.nt_weight
+    uncovered_counts = fast.nt_uncovered
+    in_augmentation = bytearray(fast.m_nt)
+    augmentation_ids: list[int] = []
+    steps = 0
+
+    zero_weight = fast.zero_weight_ids()
+    if zero_weight:
+        for j in zero_weight:
+            in_augmentation[j] = 1
+        augmentation_ids.extend(zero_weight)
+        fast.cover_many(zero_weight)
+
+    # The candidate order is fixed for the whole run: ascending repr, the
+    # historical tie-break.  Scanning it with a strict ">" keeps the first
+    # (smallest-repr) maximiser, so no repr() is evaluated inside the loop.
+    order = sorted(range(fast.m_nt), key=fast.nt_repr.__getitem__)
+
+    while not fast.all_covered():
+        steps += 1
+        best = -1
+        best_uncovered = 0
+        best_weight = 1
+        for j in order:
+            if in_augmentation[j]:
+                continue
+            uncovered = uncovered_counts[j]
+            if uncovered == 0:
+                continue
+            # uncovered / weight > best_uncovered / best_weight, exactly
+            # (weights are positive here: zero-weight edges were taken first).
+            if best < 0 or uncovered * best_weight > best_uncovered * weights[j]:
+                best = j
+                best_uncovered = uncovered
+                best_weight = weights[j]
+        if best < 0:
+            raise RuntimeError(
+                "greedy TAP ran out of covering edges; the graph is not 2-edge-connected"
+            )
+        in_augmentation[best] = 1
+        augmentation_ids.append(best)
+        fast.cover(best)
+
+    nt_edges = fast.nt_edges
+    return GreedyTapResult(
+        augmentation={nt_edges[j] for j in augmentation_ids},
+        weight=sum(weights[j] for j in augmentation_ids),
+        steps=steps,
+    )
+
+
+def greedy_tap_nx(
+    graph: nx.Graph,
+    tree: RootedTree,
+    coverage: CoverageStateNX | None = None,
+) -> GreedyTapResult:
+    """The historical per-step rescan implementation (reference oracle).
+
+    Kept for the ``diff-tap-greedy`` differential suite: it re-evaluates
+    ``cost_effectiveness`` as exact fractions and breaks ties by ``repr``
+    inside the loop, the behaviour :func:`greedy_tap` reproduces exactly.
+    """
+    state = coverage if coverage is not None else CoverageStateNX(graph, tree)
     augmentation: set[Edge] = set()
     steps = 0
 

@@ -2,8 +2,11 @@
 
 Every non-tree edge ``e = {u, v}`` of the 2-ECSS algorithm covers exactly the
 tree edges on the unique tree path ``P_e`` between ``u`` and ``v`` (Section 3).
-:class:`LCAIndex` answers ``LCA(u, v)`` in ``O(log n)`` per query via binary
-lifting and materialises ``P_e`` as a list of canonical tree edges.
+:class:`LCAIndex` is backed by the flat-array Euler-tour extractor
+:class:`repro.graphs.fastgraph.TreePathIndex`: building the index is
+``O(n log n)`` and every query -- ``lca``, ``distance`` and the path
+materialisation ``tree_path_edges`` -- runs on integer arrays, so indexing a
+tree is no longer the setup bottleneck of the coverage and labelling kernels.
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ from __future__ import annotations
 from typing import Hashable
 
 from repro.graphs.connectivity import canonical_edge
+from repro.graphs.fastgraph import TreePathIndex
 from repro.trees.rooted import RootedTree
 
 Edge = tuple[Hashable, Hashable]
@@ -19,94 +23,87 @@ __all__ = ["LCAIndex"]
 
 
 class LCAIndex:
-    """Binary-lifting LCA index over a :class:`RootedTree`.
+    """Euler-tour LCA index over a :class:`RootedTree`.
 
     Args:
         tree: The rooted tree to index.  Building the index is
-            ``O(n log n)``; each query is ``O(log n)``.
+            ``O(n log n)``; ``lca`` is ``O(1)`` and path extraction is
+            ``O(|path|)`` per query.
+
+    Attributes:
+        nodes: Integer vertex id -> original node label (BFS order, root 0).
+        index: Original node label -> integer vertex id.
+        paths: The integer-array :class:`TreePathIndex` behind the queries;
+            kernels that already speak vertex ids (the TAP coverage kernel,
+            the labelling kernel) use it directly.
+        parent_edges: Vertex id -> canonical tree edge to its parent
+            (``None`` for the root).
     """
 
     def __init__(self, tree: RootedTree) -> None:
         self._tree = tree
-        n = tree.number_of_nodes()
-        self._levels = max(1, (n - 1).bit_length())
-        # up[j][v] is the 2^j-th ancestor of v (or None above the root).
-        self._up: list[dict[Hashable, Hashable | None]] = [
-            {v: tree.parent(v) for v in tree.nodes()}
-        ]
-        for j in range(1, self._levels):
-            prev = self._up[j - 1]
-            self._up.append(
-                {v: (prev[prev[v]] if prev[v] is not None else None) for v in tree.nodes()}
-            )
+        self.nodes: list[Hashable] = tree.bfs_order()
+        self.index: dict[Hashable, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        parent = [-1] * len(self.nodes)
+        depth = [0] * len(self.nodes)
+        self.parent_edges: list[Edge | None] = [None] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            p = tree.parent(node)
+            if p is not None:
+                parent[i] = self.index[p]
+                depth[i] = tree.depth(node)
+                self.parent_edges[i] = canonical_edge(node, p)
+        self.paths = TreePathIndex(parent, depth)
 
     @property
     def tree(self) -> RootedTree:
         """The indexed tree."""
         return self._tree
 
-    def _lift(self, node: Hashable, distance: int) -> Hashable | None:
-        """Return the ancestor of *node* exactly *distance* levels up."""
-        current: Hashable | None = node
-        level = 0
-        while distance and current is not None:
-            if distance & 1:
-                current = self._up[level][current]
-            distance >>= 1
-            level += 1
-        return current
-
     def lca(self, u: Hashable, v: Hashable) -> Hashable:
         """Return the lowest common ancestor of *u* and *v*."""
-        tree = self._tree
-        du, dv = tree.depth(u), tree.depth(v)
-        if du < dv:
-            u, v = v, u
-            du, dv = dv, du
-        u = self._lift(u, du - dv)
-        if u == v:
-            return u
-        for level in range(self._levels - 1, -1, -1):
-            up_u = self._up[level][u]
-            up_v = self._up[level][v]
-            if up_u != up_v:
-                u, v = up_u, up_v
-        parent = self._tree.parent(u)
-        if parent is None:
-            raise RuntimeError("LCA lifting walked above the root; tree index is inconsistent")
-        return parent
+        return self.nodes[self.paths.lca(self.index[u], self.index[v])]
 
     def tree_path_edges(self, u: Hashable, v: Hashable) -> list[Edge]:
         """Return the tree edges on the unique path between *u* and *v*.
 
         This is the set ``S_e`` of cuts of size 1 covered by the non-tree edge
-        ``e = {u, v}`` in the weighted-TAP algorithm.
+        ``e = {u, v}`` in the weighted-TAP algorithm.  The order matches the
+        historical implementation: edges from *u* up to the LCA first, then
+        edges from *v* up to the LCA.
         """
-        if u == v:
-            return []
-        ancestor = self.lca(u, v)
-        edges = self._tree.path_to_ancestor(u, ancestor)
-        edges.extend(self._tree.path_to_ancestor(v, ancestor))
-        return edges
+        parent_edges = self.parent_edges
+        return [
+            parent_edges[child]
+            for child in self.paths.path_edges(self.index[u], self.index[v])
+        ]
 
     def tree_path_vertices(self, u: Hashable, v: Hashable) -> list[Hashable]:
         """Return the vertices on the unique tree path from *u* to *v* (inclusive)."""
         if u == v:
             return [u]
-        ancestor = self.lca(u, v)
-        up_side = self._tree.path_vertices_to_ancestor(u, ancestor)
-        down_side = self._tree.path_vertices_to_ancestor(v, ancestor)
-        down_side.pop()  # drop the duplicated LCA
+        paths = self.paths
+        iu, iv = self.index[u], self.index[v]
+        ancestor = paths.lca(iu, iv)
+        parent, nodes = paths.parent, self.nodes
+        up_side = []
+        x = iu
+        while x != ancestor:
+            up_side.append(nodes[x])
+            x = parent[x]
+        up_side.append(nodes[ancestor])
+        down_side = []
+        x = iv
+        while x != ancestor:
+            down_side.append(nodes[x])
+            x = parent[x]
         return up_side + list(reversed(down_side))
 
     def distance(self, u: Hashable, v: Hashable) -> int:
         """Return the number of tree edges between *u* and *v*."""
-        ancestor = self.lca(u, v)
-        return (
-            self._tree.depth(u)
-            + self._tree.depth(v)
-            - 2 * self._tree.depth(ancestor)
-        )
+        return self.paths.distance(self.index[u], self.index[v])
 
     def covers(self, non_tree_edge: Edge, tree_edge: Edge) -> bool:
         """Return ``True`` iff *non_tree_edge* covers *tree_edge* (lies on its path)."""

@@ -1,0 +1,219 @@
+"""The flat-array TAP/labelling kernels: unit tests and differential sweeps.
+
+Three layers:
+
+* direct unit tests of :class:`repro.graphs.fastgraph.TreePathIndex` (the
+  Euler-tour LCA / path extractor) against brute-force parent walks;
+* direct unit tests of :class:`repro.tap.fastcover.FastCoverage` -- CSR path
+  parity with ``LCAIndex.tree_path_edges``, incremental ``|C_e|`` counters
+  vs recomputation, the transposed covering lists, and the voting round vs
+  the historical set-based implementation;
+* the seeded ``diff-tap-*`` / ``diff-labels-*`` differential sweep, wired
+  through the experiment engine: 50 instances of **every** registered
+  generator family per solver, each asserting bit-identical output
+  (augmentations, weights, iteration counts, histories, label maps) against
+  the historical reference implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.differential import tap_labels_jobs
+from repro.analysis.engine import ExperimentEngine
+from repro.analysis.runner import trial_groups
+from repro.graphs.fastgraph import TreePathIndex
+from repro.graphs.generators import FAMILIES, random_k_edge_connected_graph
+from repro.mst.sequential import minimum_spanning_tree
+from repro.tap.cover import CoverageState, CoverageStateNX
+from repro.trees.lca import LCAIndex
+from repro.trees.rooted import RootedTree
+
+N_GRAPHS = 50
+SWEEP_BACKEND = "threads"
+SWEEP_WORKERS = 4
+
+
+def _mst_instance(n: int, seed: int, prob: float = 0.3):
+    graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=prob, seed=seed)
+    tree = RootedTree(minimum_spanning_tree(graph), root=min(graph.nodes()))
+    return graph, tree
+
+
+def _random_parent_arrays(n: int, seed: int) -> tuple[list[int], list[int]]:
+    """A random rooted tree as (parent, depth) arrays (root 0)."""
+    rng = random.Random(seed)
+    parent = [-1] * n
+    depth = [0] * n
+    for v in range(1, n):
+        parent[v] = rng.randrange(v)
+        depth[v] = depth[parent[v]] + 1
+    return parent, depth
+
+
+# ---------------------------------------------------------------- TreePathIndex
+class TestTreePathIndex:
+    def test_lca_matches_brute_force_ancestor_walk(self):
+        for seed in range(5):
+            parent, depth = _random_parent_arrays(40, seed)
+            index = TreePathIndex(parent, depth)
+
+            def ancestors(v):
+                chain = [v]
+                while parent[chain[-1]] >= 0:
+                    chain.append(parent[chain[-1]])
+                return chain
+
+            rng = random.Random(100 + seed)
+            for _ in range(50):
+                u, v = rng.randrange(40), rng.randrange(40)
+                expected = next(a for a in ancestors(u) if a in set(ancestors(v)))
+                assert index.lca(u, v) == expected
+
+    def test_path_edges_order_and_distance(self):
+        # Path graph 0-1-2-3-4 rooted at 0: path(1, 4) climbs 4, 3, 2 after 1.
+        parent = [-1, 0, 1, 2, 3]
+        depth = [0, 1, 2, 3, 4]
+        index = TreePathIndex(parent, depth)
+        assert index.path_edges(1, 4) == [4, 3, 2]
+        assert index.path_edges(4, 1) == [4, 3, 2]
+        assert index.path_edges(2, 2) == []
+        assert index.distance(1, 4) == 3
+        assert index.lca(1, 4) == 1
+
+    def test_two_sided_path_lists_u_side_first(self):
+        # Star with two arms: 0 - 1 - 2 and 0 - 3 - 4.
+        parent = [-1, 0, 1, 0, 3]
+        depth = [0, 1, 2, 1, 2]
+        index = TreePathIndex(parent, depth)
+        assert index.lca(2, 4) == 0
+        assert index.path_edges(2, 4) == [2, 1, 4, 3]
+
+    def test_rejects_malformed_parent_arrays(self):
+        with pytest.raises(ValueError):
+            TreePathIndex([0, -1, -1], [0, 0, 0])  # two roots
+        with pytest.raises(ValueError):
+            TreePathIndex([0, 0], [0, 1])  # no root
+
+    def test_matches_lca_index_on_random_trees(self):
+        for seed in range(4):
+            graph = random_k_edge_connected_graph(30, 2, extra_edge_prob=0.2, seed=seed)
+            tree = RootedTree(minimum_spanning_tree(graph), root=min(graph.nodes()))
+            lca = LCAIndex(tree)
+            rng = random.Random(seed)
+            nodes = list(tree.nodes())
+            for _ in range(40):
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                assert lca.lca(u, v) == lca.nodes[
+                    lca.paths.lca(lca.index[u], lca.index[v])
+                ]
+                assert lca.distance(u, v) == len(lca.tree_path_edges(u, v))
+
+
+# ----------------------------------------------------------------- FastCoverage
+class TestFastCoverage:
+    def test_paths_match_lca_index(self):
+        graph, tree = _mst_instance(16, 0)
+        state = CoverageState(graph, tree)
+        fast = state.fast
+        lca = LCAIndex(tree)
+        for j, edge in enumerate(fast.nt_edges):
+            expected = {
+                fast.tree_edge_index[e] for e in lca.tree_path_edges(*edge)
+            }
+            assert set(fast.path_indices(j)) == expected
+            assert fast.path_indptr[j + 1] - fast.path_indptr[j] == len(expected)
+
+    def test_covering_is_the_exact_transpose(self):
+        graph, tree = _mst_instance(14, 1)
+        fast = CoverageState(graph, tree).fast
+        for t in range(fast.n_tree):
+            expected = [
+                j for j in range(fast.m_nt) if t in set(fast.path_indices(j))
+            ]
+            assert fast.covering(t) == expected
+
+    def test_uncovered_counters_stay_consistent_under_covering(self):
+        graph, tree = _mst_instance(18, 2)
+        fast = CoverageState(graph, tree).fast
+        rng = random.Random(2)
+        ids = list(range(fast.m_nt))
+        rng.shuffle(ids)
+        for j in ids[: fast.m_nt // 2]:
+            fast.cover(j)
+            for k in range(fast.m_nt):
+                recomputed = sum(
+                    1 for t in fast.path_indices(k) if not fast.covered[t]
+                )
+                assert fast.nt_uncovered[k] == recomputed
+            assert fast.uncovered == {
+                t for t in range(fast.n_tree) if not fast.covered[t]
+            }
+            assert fast.uncovered_total() == len(fast.uncovered)
+
+    def test_cover_many_reports_each_tree_edge_once(self):
+        graph, tree = _mst_instance(16, 3)
+        fast = CoverageState(graph, tree).fast
+        newly = fast.cover_many(range(fast.m_nt))
+        assert sorted(newly) == sorted(set(newly))
+        assert fast.all_covered()
+        assert fast.uncovered_total() == 0
+        assert fast.cover_many(range(fast.m_nt)) == []
+
+    def test_facade_matches_reference_state_step_by_step(self):
+        graph, tree = _mst_instance(15, 4)
+        state = CoverageState(graph, tree)
+        oracle = CoverageStateNX(graph, tree)
+        assert state.tree_edges == oracle.tree_edges
+        assert state.non_tree_edges == oracle.non_tree_edges
+        for edge in state.non_tree_edges:
+            assert state.path(edge) == oracle.path(edge)
+            assert state.weight(edge) == oracle.weight(edge)
+        for edge in state.non_tree_edges[::2]:
+            assert state.cover_with(edge) == oracle.cover_with(edge)
+            assert state.uncovered_indices() == oracle.uncovered_indices()
+            assert state.covered_indices() == oracle.covered_indices()
+            for probe in state.non_tree_edges:
+                assert state.uncovered_count(probe) == oracle.uncovered_count(probe)
+                assert state.uncovered_on_path(probe) == oracle.uncovered_on_path(probe)
+        assert state.all_covered() == oracle.all_covered()
+
+    def test_zero_weight_ids(self):
+        graph, tree = _mst_instance(12, 5)
+        free = CoverageStateNX(graph, tree).non_tree_edges[0]
+        graph[free[0]][free[1]]["weight"] = 0
+        fast = CoverageState(graph, tree).fast
+        assert fast.zero_weight_ids() == [fast.nt_index[free]]
+
+    def test_verify_augmentation_parity(self):
+        graph, tree = _mst_instance(14, 6)
+        state = CoverageState(graph, tree)
+        oracle = CoverageStateNX(graph, tree)
+        edges = state.non_tree_edges
+        for subset in (edges, edges[:1], edges[: len(edges) // 2]):
+            assert state.verify_augmentation(subset) == oracle.verify_augmentation(subset)
+
+
+# ------------------------------------------------- engine-driven differential
+def _run_sweep(name: str, jobs) -> list:
+    engine = ExperimentEngine(workers=SWEEP_WORKERS, backend=SWEEP_BACKEND)
+    results = engine.run_jobs(name, jobs)
+    # Any parity violation raises inside the trial; trial_groups re-raises it
+    # here with the offending (family, seed) pair and traceback attached.
+    trial_groups(results, key=lambda r: r.config["family"])
+    return results
+
+
+class TestTapLabelsDifferentialSweep:
+    """>= 50 seeded graphs per generator family, per ported solver."""
+
+    @pytest.mark.parametrize("name", sorted(tap_labels_jobs(1)))
+    def test_parity_with_reference_implementations(self, name):
+        jobs = tap_labels_jobs(N_GRAPHS)[name]
+        results = _run_sweep(name, jobs)
+        assert len(results) == N_GRAPHS * len(FAMILIES)
+        assert {r.config["family"] for r in results} == set(FAMILIES)
+        assert all(r.ok for r in results)

@@ -14,8 +14,15 @@ Guards in the default test run:
   3x faster than the historical networkx oracles on an n >= 200 instance;
   a stricter multi-family sweep of the same guard runs behind the ``slow``
   marker;
+* the flat-array TAP stage (coverage build + candidate scoring + voting,
+  the hot loop of every E1/E2/E3/E9 trial) is at least 3x faster than the
+  historical set-algebra implementation on an n >= 256 instance, with a
+  stricter n = 400 variant behind the ``slow`` marker;
 * ``kecss bench --dry-run`` emits baseline JSON that passes the published
   schema check (and a written baseline round-trips through it);
+* ``kecss bench e3 --against BENCH_e3.json`` reproduces the committed
+  TAP-heavy baseline bit-identically, so the drift detection itself is
+  exercised on every default test run;
 * timings are printed so the speedups are visible in the test log with
   ``-s``.
 """
@@ -24,6 +31,7 @@ from __future__ import annotations
 
 import json
 import time
+from pathlib import Path
 
 import networkx as nx
 import pytest
@@ -35,6 +43,7 @@ from repro.analysis.experiments import (
     experiment_e4_k_ecss,
 )
 from repro.cli import main as kecss_main
+from repro.congest.cost_model import CostModel
 from repro.graphs.connectivity import (
     bridges,
     bridges_nx,
@@ -44,6 +53,9 @@ from repro.graphs.connectivity import (
 from repro.graphs.cuts import enumerate_cut_pairs, enumerate_cut_pairs_nx
 from repro.graphs.fastgraph import hop_diameter
 from repro.graphs.generators import clique_chain, random_k_edge_connected_graph
+from repro.mst.sequential import minimum_spanning_tree
+from repro.tap.distributed import distributed_tap, distributed_tap_nx
+from repro.trees.rooted import RootedTree
 
 # Generous ceiling: the smoke-mode sweep takes well under a second locally;
 # the budget only exists to catch order-of-magnitude regressions.
@@ -52,6 +64,9 @@ WARM_CACHE_MIN_SPEEDUP = 5.0
 #: Acceptance bar for the CSR kernel on the cold E2/E6 verification path at
 #: n >= 200 (measured ~5-6x locally; 3x leaves headroom for CI noise).
 FASTGRAPH_MIN_SPEEDUP = 3.0
+#: Acceptance bar for the flat-array TAP stage at n >= 256 (measured ~7-9x
+#: locally against the set-algebra implementation; 3x leaves CI headroom).
+TAP_MIN_SPEEDUP = 3.0
 
 
 def _run_e1_e4(engine):
@@ -170,6 +185,45 @@ def test_fastgraph_cold_path_speedup_sweep(label, graph_factory):
     )
 
 
+# ------------------------------------------------------ tap stage cold guard
+def _tap_stage_speedup(n: int, seed: int) -> float:
+    """Flat-array TAP stage vs the set-algebra oracle on one E2-style instance.
+
+    Both runs consume identical RNG streams and include their coverage-state
+    construction (the stage as the 2-ECSS driver executes it); the diameter
+    -- identical work on both sides -- is computed once outside the timers.
+    """
+    graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=3.0 / n, seed=seed)
+    tree = RootedTree(minimum_spanning_tree(graph), root=min(graph.nodes(), key=repr))
+    cost_model = CostModel(n=n, diameter=hop_diameter(graph))
+
+    fast = _best_of(lambda: distributed_tap(graph, tree, seed=7, cost_model=cost_model))
+    oracle = _best_of(
+        lambda: distributed_tap_nx(graph, tree, seed=7, cost_model=cost_model)
+    )
+    return oracle / fast
+
+
+def test_tap_stage_speedup_at_n256():
+    """The TAP-kernel acceptance bar: >= 3x on the E2 family at n >= 256."""
+    speedup = _tap_stage_speedup(256, seed=3)
+    print(f"\nTAP stage (weighted-sparse n=256): {speedup:.1f}x")
+    assert speedup >= TAP_MIN_SPEEDUP, (
+        f"flat-array TAP stage only {speedup:.1f}x faster than the set-algebra "
+        f"implementation at n=256 (bar: {TAP_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.slow
+def test_tap_stage_speedup_at_n400():
+    """Stricter variant at the size where TAP dominated the 2-ECSS wall clock."""
+    speedup = _tap_stage_speedup(400, seed=5)
+    print(f"\nTAP stage (weighted-sparse n=400): {speedup:.1f}x")
+    assert speedup >= TAP_MIN_SPEEDUP, (
+        f"flat-array TAP stage only {speedup:.1f}x at n=400 (bar: {TAP_MIN_SPEEDUP}x)"
+    )
+
+
 # ------------------------------------------------------ bench baseline schema
 def test_bench_dry_run_emits_schema_valid_baseline_json(capsys):
     """``kecss bench e7 --dry-run`` prints a baseline passing the schema check."""
@@ -181,6 +235,22 @@ def test_bench_dry_run_emits_schema_valid_baseline_json(capsys):
     assert payload["experiment"] == "e7"
     assert payload["summary"]["trial_count"] == len(payload["trials"]) > 0
     assert all(trial["error"] is None for trial in payload["trials"])
+
+
+def test_bench_against_committed_e3_baseline(capsys):
+    """``kecss bench e3 --against`` matches the committed TAP-heavy baseline.
+
+    Exercises the drift detection itself on every default run: the E3
+    aggregates (TAP iteration counts over the deterministic seed grid) must
+    reproduce the repository's ``BENCH_e3.json`` bit-identically, which is
+    exactly the check a refactor PR relies on.
+    """
+    baseline = Path(__file__).resolve().parents[1] / "BENCH_e3.json"
+    assert baseline.is_file(), "BENCH_e3.json must be committed at the repo root"
+    exit_code = kecss_main(["bench", "e3", "--against", str(baseline)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"E3 aggregates drifted from the committed baseline:\n{out}"
+    assert "aggregates match" in out
 
 
 def test_bench_writes_and_revalidates_a_baseline(tmp_path, capsys):
