@@ -28,9 +28,9 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping
 
-from repro.analysis.code_version import code_version_for
+from repro.analysis.code_version import code_version_for, git_describe
 from repro.analysis.engine import ExperimentEngine, TrialJob
 from repro.analysis.runner import TrialResult
 from repro.analysis.tables import Table
@@ -44,6 +44,9 @@ __all__ = [
     "validate_baseline",
     "compare_tables",
     "baseline_path",
+    "table_payload",
+    "trial_payload",
+    "engine_provenance",
 ]
 
 SCHEMA_NAME = "kecss-bench-baseline"
@@ -54,21 +57,24 @@ SCHEMA_VERSION = 1
 class RecordingEngine(ExperimentEngine):
     """An :class:`ExperimentEngine` that also keeps every trial it ran.
 
-    The experiment functions only return aggregate tables; the baseline wants
-    the underlying per-trial durations and metrics too, so this subclass
-    captures them as they flow through :meth:`run_jobs` (cache replays
-    included, flagged by ``TrialResult.cached``).
+    The experiment functions only return aggregate tables; the baseline (and
+    the trial store) wants the underlying per-trial durations and metrics
+    too, so this subclass captures them through the engine's observer hook
+    as they flow through ``run_jobs`` (cache replays included, flagged by
+    ``TrialResult.cached``).
     """
 
     recorded: list[tuple[TrialJob, TrialResult]] = field(default_factory=list)
 
-    def run_jobs(self, trial, jobs: Sequence[TrialJob]) -> list[TrialResult]:
-        results = super().run_jobs(trial, jobs)
-        self.recorded.extend(zip(jobs, results))
-        return results
+    def __post_init__(self) -> None:
+        self.observers.append(self._record)
+
+    def _record(self, job: TrialJob, result: TrialResult) -> None:
+        self.recorded.append((job, result))
 
 
-def _table_payload(table: Table) -> dict:
+def table_payload(table: Table) -> dict:
+    """A :class:`~repro.analysis.tables.Table` as its JSON baseline payload."""
     return {
         "title": table.title,
         "columns": list(table.columns),
@@ -77,7 +83,8 @@ def _table_payload(table: Table) -> dict:
     }
 
 
-def _trial_payload(job: TrialJob, result: TrialResult) -> dict:
+def trial_payload(job: TrialJob, result: TrialResult) -> dict:
+    """One recorded (job, result) pair as its JSON baseline trial record."""
     return {
         "experiment": job.experiment,
         "config": job.config_dict,
@@ -87,6 +94,31 @@ def _trial_payload(job: TrialJob, result: TrialResult) -> dict:
         "cached": result.cached,
         "error": result.error,
         "metrics": result.metrics,
+    }
+
+
+def engine_provenance(engine: ExperimentEngine, experiment_id: str) -> dict:
+    """The provenance block baselines and trial-store runs both record.
+
+    ``git describe`` is stamped here -- at production time, by the process
+    that actually ran the trials -- rather than at store-ingestion time, so
+    importing a historical baseline cannot misattribute its results to
+    whatever commit is checked out when the import happens.
+    """
+    backend_name = engine.backend if isinstance(engine.backend, str) else (
+        getattr(engine.backend, "name", None) if engine.backend is not None else None
+    )
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "code_version": code_version_for(experiment_id),
+        "git_describe": git_describe(),
+        "engine": {
+            "backend": backend_name or "serial",
+            "workers": engine.workers,
+            "cache_dir": str(engine.cache_dir) if engine.caching else None,
+            "caching": engine.caching,
+        },
     }
 
 
@@ -119,27 +151,14 @@ def build_baseline(
     recorded = engine.recorded[start:]
     durations = [result.duration for _, result in recorded]
     cached = sum(1 for _, result in recorded if result.cached)
-    backend_name = engine.backend if isinstance(engine.backend, str) else (
-        getattr(engine.backend, "name", None) if engine.backend is not None else None
-    )
     return {
         "schema": SCHEMA_NAME,
         "schema_version": SCHEMA_VERSION,
         "experiment": experiment_id,
         "created_unix": wall_started,
-        "provenance": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            "code_version": code_version_for(experiment_id),
-            "engine": {
-                "backend": backend_name or "serial",
-                "workers": engine.workers,
-                "cache_dir": str(engine.cache_dir) if engine.caching else None,
-                "caching": engine.caching,
-            },
-        },
-        "table": _table_payload(table),
-        "trials": [_trial_payload(job, result) for job, result in recorded],
+        "provenance": engine_provenance(engine, experiment_id),
+        "table": table_payload(table),
+        "trials": [trial_payload(job, result) for job, result in recorded],
         "summary": {
             "trial_count": len(recorded),
             "cached_trials": cached,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import importlib.util
+import subprocess
 from functools import lru_cache
 from pathlib import Path
 
@@ -30,7 +31,35 @@ __all__ = [
     "declare_modules",
     "module_files",
     "code_version_for",
+    "git_describe",
 ]
+
+
+def git_describe(start: Path | None = None) -> str | None:
+    """``git describe --always --dirty`` of the checkout holding this file.
+
+    The human-readable companion to the content-hash tags: baselines and
+    trial-store runs record it at *production* time (see
+    :func:`repro.analysis.bench.engine_provenance`) so results can be
+    attributed to commits.  Returns ``None`` when git is unavailable or the
+    package is not inside a work tree (e.g. installed site-packages), so
+    provenance degrades gracefully.
+    """
+    cwd = Path(start) if start is not None else Path(__file__).resolve().parent
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    described = proc.stdout.strip()
+    return described or None
 
 #: Package hashed when an experiment declares no module dependencies.
 DEFAULT_PACKAGE = "repro"

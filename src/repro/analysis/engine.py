@@ -184,6 +184,12 @@ class ExperimentEngine:
             counters across all ``run_jobs`` calls on this engine.  ``misses``
             counts cache lookups that missed (always 0 with caching off);
             ``executed`` counts trials actually run.
+        observers: Callables ``(job, result) -> None`` invoked once per
+            completed trial -- cache replays included -- in deterministic job
+            order after every ``run_jobs`` batch.  This is the ingestion hook
+            recorders and result stores (:mod:`repro.store`) attach to
+            without subclassing the execution path; observers run in the
+            driving process regardless of backend.
     """
 
     workers: int = 1
@@ -193,6 +199,9 @@ class ExperimentEngine:
     code_version: str | None = None
     stats: dict[str, int] = field(
         default_factory=lambda: {"hits": 0, "misses": 0, "executed": 0, "failures": 0}
+    )
+    observers: list[Callable[["TrialJob", TrialResult], None]] = field(
+        default_factory=list
     )
 
     # ---------------------------------------------------------------- caching
@@ -339,6 +348,14 @@ class ExperimentEngine:
         self.stats["failures"] += sum(
             1 for result in results if result is not None and result.error is not None
         )
+        # Pair observers positionally with jobs *before* dropping any None
+        # result a misbehaving backend produced, so a gap cannot shift every
+        # later result onto the wrong job.
+        for job, result in zip(jobs, results):
+            if result is None:
+                continue
+            for observer in self.observers:
+                observer(job, result)
         return [result for result in results if result is not None]
 
     def run(

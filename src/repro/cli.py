@@ -1,4 +1,5 @@
-"""Command line interface: ``kecss solve | verify | experiment | bench | cache | families``.
+"""Command line interface: ``kecss solve | verify | experiment | bench | cache |
+families | history | regress | store``.
 
 Examples::
 
@@ -8,6 +9,11 @@ Examples::
     kecss bench e2 --out BENCH_e2.json
     kecss bench all --out-dir baselines --workers 4
     kecss bench e6 --against BENCH_e6.json
+    kecss bench e3 --store-dir .repro-store          # record + append to the store
+    kecss store import BENCH_e3.json BENCH_e9.json --store-dir .repro-store
+    kecss store ls --store-dir .repro-store
+    kecss history e3 --store-dir .repro-store
+    kecss regress e3 --store-dir .repro-store --tolerance 0.0
     kecss cache stats --cache-dir .repro-cache
     kecss cache gc --cache-dir .repro-cache
     kecss families
@@ -33,13 +39,25 @@ per-experiment entry/stale/byte counts, ``gc`` evicts entries whose stored
 code version no longer matches the one derived from the solver-module
 content hashes (i.e. results computed by since-edited code), and ``clear``
 removes every entry.
+
+The result-store verbs sit on :mod:`repro.store` (append-only columnar run
+segments; see ``benchmarks/README.md``): ``bench``/``experiment`` append
+their per-trial records to the store named by ``--store-dir`` (default:
+``$REPRO_STORE_DIR``), ``store import`` migrates committed
+``BENCH_*.json`` baselines, ``store ls`` lists stored runs, ``history``
+tabulates per-code-version aggregate trends, and ``regress`` compares the
+latest stored run against the previous code version and exits non-zero on
+drift beyond ``--tolerance`` -- the cross-run superset of ``bench
+--against``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -108,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory for the on-disk trial cache (default: caching off)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="ignore the cache even when --cache-dir is set")
+    experiment.add_argument("--store-dir", default=None,
+                            help="append per-trial records to this columnar trial "
+                                 "store (default: $REPRO_STORE_DIR; unset: no store)")
 
     bench = subparsers.add_parser(
         "bench", help="run benchmark entrypoints and persist BENCH_*.json baselines"
@@ -133,6 +154,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for the on-disk trial cache (default: caching off)")
     bench.add_argument("--no-cache", action="store_true",
                        help="ignore the cache even when --cache-dir is set")
+    bench.add_argument("--store-dir", default=None,
+                       help="also append the run to this columnar trial store "
+                            "(default: $REPRO_STORE_DIR; skipped under --dry-run)")
+
+    history = subparsers.add_parser(
+        "history",
+        help="tabulate per-code-version aggregate trends from the trial store",
+    )
+    history.add_argument("experiment_id", metavar="id",
+                         help="experiment whose stored runs to tabulate")
+    history.add_argument("--store-dir", default=None,
+                         help="the trial store to read (default: $REPRO_STORE_DIR)")
+    history.add_argument("--markdown", action="store_true",
+                         help="emit a Markdown table")
+
+    regress = subparsers.add_parser(
+        "regress",
+        help="compare the latest stored run against the previous code version "
+             "and exit non-zero on drift",
+    )
+    regress.add_argument("experiment_id", metavar="id",
+                         help="experiment whose stored runs to compare")
+    regress.add_argument("--store-dir", default=None,
+                         help="the trial store to read (default: $REPRO_STORE_DIR)")
+    regress.add_argument("--tolerance", type=float, default=0.0,
+                         help="relative drift allowed on table cells and metric "
+                              "means (default: 0.0, bit-identical)")
+    regress.add_argument("--duration-tolerance", type=float, default=None,
+                         help="relative drift allowed on the mean trial duration "
+                              "(default: report durations but never fail on them)")
+
+    store = subparsers.add_parser(
+        "store", help="manage the columnar trial store"
+    )
+    store.add_argument("action", choices=["import", "ls"],
+                       help="import: ingest BENCH_*.json baselines; "
+                            "ls: list stored runs")
+    store.add_argument("paths", nargs="*",
+                       help="baseline files to import (import only)")
+    store.add_argument("--store-dir", default=None,
+                       help="the trial store to operate on "
+                            "(default: $REPRO_STORE_DIR)")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clean the on-disk trial cache"
@@ -202,6 +265,27 @@ def _verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _store_dir_from(args: argparse.Namespace, required: bool = False) -> Path | None:
+    """Resolve ``--store-dir`` with the ``REPRO_STORE_DIR`` fallback."""
+    value = args.store_dir or os.environ.get("REPRO_STORE_DIR")
+    if value:
+        return Path(value)
+    if required:
+        raise SystemExit(
+            "no trial store configured: pass --store-dir or set REPRO_STORE_DIR"
+        )
+    return None
+
+
+def _open_store(directory: Path, create: bool):
+    from repro.store import StoreError, TrialStore
+
+    try:
+        return TrialStore(directory, create=create)
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+
+
 def _experiment(args: argparse.Namespace) -> int:
     if (
         args.positional_id is not None
@@ -218,19 +302,44 @@ def _experiment(args: argparse.Namespace) -> int:
             Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
         except OSError as exc:
             raise SystemExit(f"cannot create cache dir {args.cache_dir!r}: {exc}")
-    engine = ExperimentEngine(
+    store_dir = _store_dir_from(args)
+    engine_kwargs = dict(
         workers=args.workers,
         backend=args.backend,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
-    if experiment_id == "all":
-        tables = experiment_module.all_experiments(engine=engine)
+    if store_dir is not None:
+        # Record per-trial results and append one store run per experiment.
+        from repro.analysis.bench import (
+            RecordingEngine,
+            engine_provenance,
+            table_payload,
+            trial_payload,
+        )
+
+        store = _open_store(store_dir, create=True)
+        engine = RecordingEngine(**engine_kwargs)
     else:
-        tables = [_EXPERIMENTS[experiment_id](engine=engine)]
-    for table in tables:
+        store = None
+        engine = ExperimentEngine(**engine_kwargs)
+    ids = list(_EXPERIMENTS) if experiment_id == "all" else [experiment_id]
+    for eid in ids:
+        start = len(getattr(engine, "recorded", ()))
+        created = time.time()
+        table = _EXPERIMENTS[eid](engine=engine)
         print(table.to_markdown() if args.markdown else table.to_text())
         print()
+        if store is not None:
+            info = store.ingest(
+                eid,
+                [trial_payload(j, r) for j, r in engine.recorded[start:]],
+                created_unix=created,
+                table=table_payload(table),
+                provenance=engine_provenance(engine, eid),
+                source="kecss experiment",
+            )
+            print(f"{eid}: stored {info.run_id} in {store_dir}", file=sys.stderr)
     print(engine.summary(), file=sys.stderr)
     return 0
 
@@ -266,6 +375,10 @@ def _bench(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
     )
+    store_dir = _store_dir_from(args)
+    store = None
+    if store_dir is not None and not args.dry_run:
+        store = _open_store(store_dir, create=True)
     exit_code = 0
     for experiment_id in ids:
         payload = build_baseline(experiment_id, engine=engine)
@@ -295,6 +408,14 @@ def _bench(args: argparse.Namespace) -> int:
                     print(f"  {line}")
             else:
                 print(f"{experiment_id}: aggregates match {args.against}")
+        if store is not None:
+            from repro.store import StoreError, import_baseline
+
+            try:
+                info = import_baseline(store, payload, source="kecss bench")
+            except StoreError as exc:
+                raise SystemExit(str(exc))
+            print(f"{experiment_id}: stored {info.run_id} in {store_dir}")
         if args.dry_run:
             print(json.dumps(payload, indent=2, sort_keys=True))
         elif args.against is None:
@@ -348,11 +469,104 @@ def _cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _history(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, history_table
+
+    store = _open_store(_store_dir_from(args, required=True), create=False)
+    try:
+        table = history_table(store, args.experiment_id)
+    except StoreError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(table.to_markdown() if args.markdown else table.to_text())
+    return 0
+
+
+def _regress(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, regress
+
+    store = _open_store(_store_dir_from(args, required=True), create=False)
+    try:
+        exit_code, lines = regress(
+            store,
+            args.experiment_id,
+            tolerance=args.tolerance,
+            duration_tolerance=args.duration_tolerance,
+        )
+    except StoreError as exc:
+        # E.g. a corrupt run manifest: an operational error, not drift.
+        raise SystemExit(str(exc))
+    for line in lines:
+        print(line)
+    return exit_code
+
+
+def _store_cmd(args: argparse.Namespace) -> int:
+    from repro.store import StoreError, import_baseline_file
+
+    store_dir = _store_dir_from(args, required=True)
+    if args.action == "import":
+        if not args.paths:
+            raise SystemExit("store import needs at least one BENCH_*.json path")
+        store = _open_store(store_dir, create=True)
+        for path in args.paths:
+            try:
+                info = import_baseline_file(store, path)
+            except StoreError as exc:
+                raise SystemExit(str(exc))
+            print(
+                f"imported {path} as {info.run_id} "
+                f"({info.trial_count} trials, version {info.code_version})"
+            )
+        return 0
+    # ls
+    if args.paths:
+        raise SystemExit("store ls takes no positional arguments")
+    store = _open_store(store_dir, create=False)
+    try:
+        runs = store.runs()
+    except StoreError as exc:
+        raise SystemExit(str(exc))
+    if not runs:
+        print(f"store at {store_dir} holds no runs")
+        return 0
+    table = Table(
+        title=f"trial store at {store_dir}",
+        columns=["run", "experiment", "code version", "trials", "source"],
+    )
+    for info in runs:
+        table.add_row(
+            info.run_id,
+            info.experiment,
+            info.code_version,
+            info.trial_count,
+            info.provenance.get("source") or "-",
+        )
+    print(table.to_text())
+    return 0
+
+
 def _families(_: argparse.Namespace) -> int:
+    table = Table(
+        title="registered graph families",
+        columns=["family", "k>=", "weighted", "n=48 builds", "description"],
+    )
     for name in sorted(FAMILIES):
         family = FAMILIES[name]
-        print(f"{name:<24s} k>={family.connectivity}  weighted={family.weighted}  "
-              f"{family.description}")
+        graph = family(48, seed=0)
+        table.add_row(
+            name,
+            family.connectivity,
+            "yes" if family.weighted else "no",
+            f"{graph.number_of_nodes()}v/{graph.number_of_edges()}e",
+            family.description,
+        )
+    table.add_note(
+        "'n=48 builds' shows the default size scaling: the instance a builder "
+        "returns when asked for ~48 vertices (torus and hypercube round to "
+        "their lattice sizes)"
+    )
+    print(table.to_text())
     return 0
 
 
@@ -367,6 +581,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _bench,
         "cache": _cache,
         "families": _families,
+        "history": _history,
+        "regress": _regress,
+        "store": _store_cmd,
     }
     return handlers[args.command](args)
 

@@ -14,6 +14,12 @@ theorems talk about:
 * ``grid_torus`` -- 4-edge-connected torus grids with small diameter.
 * ``random_k_edge_connected_graph`` -- G(n, p) repaired to be
   k-edge-connected by adding Harary-style circulant edges.
+* ``powerlaw_two_edge_connected`` -- Barabási–Albert preferential
+  attachment lifted to 2-edge-connectivity; heavy-tailed degrees with a few
+  hub vertices, the regime scale-free network workloads live in.
+* ``hypercube_graph`` -- the d-dimensional hypercube Q_d: log-diameter,
+  d-edge-connected, vertex-transitive (no hubs at all -- the opposite
+  extreme from the power-law family).
 
 All generators return graphs whose nodes are ``0..n-1`` and whose edges have
 an integer ``weight`` attribute (default 1).
@@ -21,6 +27,7 @@ an integer ``weight`` attribute (default 1).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -34,6 +41,8 @@ __all__ = [
     "clique_chain",
     "grid_torus",
     "random_k_edge_connected_graph",
+    "powerlaw_two_edge_connected",
+    "hypercube_graph",
     "assign_random_weights",
     "assign_unit_weights",
     "FAMILIES",
@@ -207,6 +216,52 @@ def random_k_edge_connected_graph(
     return graph
 
 
+def powerlaw_two_edge_connected(
+    n: int,
+    attachments: int = 2,
+    seed: int | random.Random | None = None,
+) -> nx.Graph:
+    """Return a Barabási–Albert graph lifted to 2-edge-connectivity.
+
+    Preferential attachment with *attachments* edges per arriving vertex
+    yields the heavy-tailed degree distribution (a few high-degree hubs,
+    many leaves) that none of the circulant/lattice families exhibit; the
+    minimal ``nx.k_edge_augmentation`` lift then repairs the bridges BA
+    construction leaves behind, so solvers see a 2-edge-connected instance
+    whose structure is still dominated by the hubs.  Unit weights.
+    """
+    if attachments < 1:
+        raise ValueError("attachments must be >= 1")
+    if n <= attachments + 1:
+        raise ValueError(
+            f"need n > attachments + 1 (= {attachments + 1}) for a "
+            f"Barabási–Albert graph"
+        )
+    rng = _rng(seed)
+    graph = nx.barabasi_albert_graph(n, attachments, seed=rng.randrange(2 ** 32))
+    graph.add_edges_from(nx.k_edge_augmentation(graph, 2))
+    return assign_unit_weights(graph)
+
+
+def hypercube_graph(dimension: int) -> nx.Graph:
+    """Return the d-dimensional hypercube Q_d on ``2**d`` vertices.
+
+    Vertices are the integers ``0 .. 2**d - 1``; two are adjacent when their
+    binary labels differ in exactly one bit.  Q_d is d-regular,
+    d-edge-connected and has diameter d = log2(n): small diameter with *no*
+    high-degree hubs, complementing the power-law family.  Unit weights.
+    """
+    if dimension < 2:
+        raise ValueError("hypercubes need dimension >= 2 to be 2-edge-connected")
+    n = 1 << dimension
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for vertex in range(n):
+        for bit in range(dimension):
+            graph.add_edge(vertex, vertex ^ (1 << bit), weight=1)
+    return graph
+
+
 @dataclass(frozen=True)
 class GraphFamily:
     """A named, parameterised workload used by the experiment harness.
@@ -257,6 +312,16 @@ def _build_weighted_k3(n: int, seed: int) -> nx.Graph:
     return random_k_edge_connected_graph(n, 3, extra_edge_prob=0.2, seed=seed)
 
 
+def _build_powerlaw(n: int, seed: int) -> nx.Graph:
+    return powerlaw_two_edge_connected(n, attachments=2, seed=seed)
+
+
+def _build_hypercube(n: int, seed: int) -> nx.Graph:
+    del seed  # deterministic family
+    dimension = max(2, round(math.log2(max(n, 4))))
+    return hypercube_graph(dimension)
+
+
 FAMILIES: dict[str, GraphFamily] = {
     family.name: family
     for family in [
@@ -301,6 +366,22 @@ FAMILIES: dict[str, GraphFamily] = {
             build=_build_weighted_k3,
             connectivity=3,
             weighted=True,
+        ),
+        GraphFamily(
+            name="powerlaw",
+            description="Barabasi-Albert m=2 lifted to 2-edge-connectivity "
+                        "(heavy-tailed degrees, hub vertices)",
+            build=_build_powerlaw,
+            connectivity=2,
+            weighted=False,
+        ),
+        GraphFamily(
+            name="hypercube",
+            description="hypercube Q_d, d = round(log2 n) (d-edge-connected, "
+                        "D = log2 n, no hubs)",
+            build=_build_hypercube,
+            connectivity=2,
+            weighted=False,
         ),
     ]
 }

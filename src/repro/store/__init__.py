@@ -1,0 +1,66 @@
+"""``repro.store``: columnar trial store + cross-run regression tracking.
+
+The engine's :class:`~repro.analysis.runner.TrialResult` batches (and the
+``BENCH_*.json`` baselines built from them) persist here as append-only
+*run segments* -- flat typed columns plus a schema-checked JSON manifest --
+so multi-baseline queries and regression tracking across runs are cheap.
+
+* :mod:`repro.store.columns` -- the dependency-free column codec
+  (``i64`` / ``f64`` / dictionary-encoded strings / lossless JSON).
+* :mod:`repro.store.store` -- :class:`TrialStore`: ingest, enumerate and
+  query runs (filter by experiment / code version / per-trial equality,
+  project columns).
+* :mod:`repro.store.regression` -- ``kecss history`` per-version trend
+  tables and the ``kecss regress`` latest-vs-previous-version drift check.
+* :mod:`repro.store.importer` -- ``kecss store import`` for migrating
+  committed ``BENCH_*.json`` baselines.
+"""
+
+from repro.store.columns import ColumnCodecError, ColumnSpec, infer_dtype
+from repro.store.importer import import_baseline, import_baseline_file
+from repro.store.regression import (
+    compare_tables_with_tolerance,
+    duration_stats,
+    history_table,
+    metric_means,
+    pick_baseline_run,
+    regress,
+    relative_drift,
+)
+from repro.store.store import (
+    CORE_COLUMNS,
+    RUN_SCHEMA_NAME,
+    SCHEMA_VERSION,
+    STORE_SCHEMA_NAME,
+    RunInfo,
+    RunSlice,
+    StoreError,
+    TrialStore,
+    git_describe,
+    validate_run_manifest,
+)
+
+__all__ = [
+    "CORE_COLUMNS",
+    "RUN_SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "STORE_SCHEMA_NAME",
+    "ColumnCodecError",
+    "ColumnSpec",
+    "RunInfo",
+    "RunSlice",
+    "StoreError",
+    "TrialStore",
+    "compare_tables_with_tolerance",
+    "duration_stats",
+    "git_describe",
+    "history_table",
+    "import_baseline",
+    "import_baseline_file",
+    "infer_dtype",
+    "metric_means",
+    "pick_baseline_run",
+    "regress",
+    "relative_drift",
+    "validate_run_manifest",
+]

@@ -1,0 +1,273 @@
+"""Typed flat columns for the trial store.
+
+A stored run is a set of *columns* -- one value per trial -- written as flat
+binary files next to a small JSON manifest (see :mod:`repro.store.store`).
+The codec here is deliberately dependency-free: numeric columns are packed
+little-endian with the stdlib :mod:`array` module (the same memory layout
+numpy would produce, so future readers can ``numpy.frombuffer`` them), and
+everything that is not uniformly numeric degrades to an explicit JSON column
+rather than being silently coerced.
+
+Four dtypes cover every value the engine emits:
+
+* ``i64`` -- all values are Python ints (not bools) fitting in a signed
+  64-bit word; packed as little-endian ``int64``.
+* ``f64`` -- all values are floats; packed as little-endian IEEE-754
+  doubles, so a decoded column is bit-identical to the ingested one.
+* ``dict`` -- all values are strings; dictionary-encoded as ``i64`` codes
+  into a ``values`` table kept in the manifest (cheap equality filters for
+  family / experiment labels).
+* ``json`` -- anything else (missing values, mixed types, bools, huge
+  ints): the column file is the JSON list itself.  Lossless by
+  construction, just not flat.
+
+The dtype is *inferred* per column at ingest time (:func:`infer_dtype`), so
+callers never lose data to a wrong declaration; what was ingested is what
+:func:`read_column` returns, value-for-value.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from array import array
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+__all__ = [
+    "DTYPES",
+    "ColumnCodecError",
+    "ColumnSpec",
+    "infer_dtype",
+    "build_column",
+    "encode_column",
+    "decode_column",
+    "write_column",
+    "read_column",
+]
+
+#: Supported column dtypes, in inference-preference order.
+DTYPES = ("i64", "f64", "dict", "json")
+
+_I64_MIN = -(2 ** 63)
+_I64_MAX = 2 ** 63 - 1
+
+
+class ColumnCodecError(ValueError):
+    """Raised when a column cannot be encoded or fails to decode cleanly."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Manifest entry describing one stored column.
+
+    Attributes:
+        name: Logical column name (``"seed"``, ``"config.n"``,
+            ``"metrics.iterations"``, ...).
+        dtype: One of :data:`DTYPES`.
+        file: File name of the column data inside the run segment.
+        count: Number of values (one per trial).
+        values: Dictionary table for ``dict`` columns (code -> string);
+            empty for every other dtype.
+    """
+
+    name: str
+    dtype: str
+    file: str
+    count: int
+    values: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPES:
+            raise ColumnCodecError(
+                f"column {self.name!r} has unknown dtype {self.dtype!r}; "
+                f"known: {DTYPES}"
+            )
+
+    def to_manifest(self) -> dict:
+        payload = {
+            "name": self.name,
+            "dtype": self.dtype,
+            "file": self.file,
+            "count": self.count,
+        }
+        if self.dtype == "dict":
+            payload["values"] = list(self.values)
+        return payload
+
+    @classmethod
+    def from_manifest(cls, payload: object) -> "ColumnSpec":
+        if not isinstance(payload, dict):
+            raise ColumnCodecError(
+                f"column manifest entry must be an object, got "
+                f"{type(payload).__name__}"
+            )
+        missing = {"name", "dtype", "file", "count"} - set(payload)
+        if missing:
+            raise ColumnCodecError(
+                f"column manifest entry is missing fields: {sorted(missing)}"
+            )
+        values = payload.get("values", [])
+        if not isinstance(values, list) or not all(
+            isinstance(v, str) for v in values
+        ):
+            raise ColumnCodecError(
+                f"column {payload['name']!r}: 'values' must be a list of strings"
+            )
+        return cls(
+            name=payload["name"],
+            dtype=payload["dtype"],
+            file=payload["file"],
+            count=int(payload["count"]),
+            values=tuple(values),
+        )
+
+
+def _is_i64(value: object) -> bool:
+    return (
+        isinstance(value, int)
+        and not isinstance(value, bool)
+        and _I64_MIN <= value <= _I64_MAX
+    )
+
+
+def infer_dtype(values: Sequence[object]) -> str:
+    """The narrowest dtype that stores *values* losslessly.
+
+    Bools, ``None`` (missing values), ints outside the signed 64-bit range
+    and any type mixture all fall back to ``json`` -- a decoded column is
+    always equal, type and all, to the ingested one.
+    """
+    if values and all(_is_i64(v) for v in values):
+        return "i64"
+    if values and all(isinstance(v, float) for v in values):
+        return "f64"
+    if values and all(isinstance(v, str) for v in values):
+        return "dict"
+    return "json"
+
+
+def _pack(typecode: str, values: Sequence) -> bytes:
+    arr = array(typecode, values)
+    if arr.itemsize != 8:  # pragma: no cover - q/d are 8 bytes on CPython
+        raise ColumnCodecError(
+            f"array typecode {typecode!r} is {arr.itemsize} bytes on this "
+            f"platform; the store format requires 8"
+        )
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        arr.byteswap()
+    return arr.tobytes()
+
+
+def _unpack(typecode: str, data: bytes) -> list:
+    arr = array(typecode)
+    try:
+        arr.frombytes(data)
+    except ValueError as exc:
+        raise ColumnCodecError(f"column data is not a whole number of words: {exc}")
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        arr.byteswap()
+    return arr.tolist()
+
+
+def build_column(name: str, values: Sequence[object], index: int) -> tuple[ColumnSpec, bytes]:
+    """Infer the dtype of *values* and encode them; returns (spec, payload).
+
+    The column file is named ``c<index>.<dtype>`` -- names are manifest-only,
+    so metric keys with filesystem-hostile characters cannot corrupt paths.
+    """
+    dtype = infer_dtype(values)
+    dictionary: tuple[str, ...] = ()
+    if dtype == "dict":
+        seen: dict[str, int] = {}
+        for value in values:
+            seen.setdefault(value, len(seen))
+        dictionary = tuple(seen)
+    spec = ColumnSpec(
+        name=name,
+        dtype=dtype,
+        file=f"c{index}.{dtype}",
+        count=len(values),
+        values=dictionary,
+    )
+    return spec, encode_column(spec, values)
+
+
+def encode_column(spec: ColumnSpec, values: Sequence[object]) -> bytes:
+    """Encode *values* as the on-disk bytes of a column described by *spec*."""
+    if len(values) != spec.count:
+        raise ColumnCodecError(
+            f"column {spec.name!r}: {len(values)} values for count {spec.count}"
+        )
+    if spec.dtype == "i64":
+        return _pack("q", values)
+    if spec.dtype == "f64":
+        return _pack("d", values)
+    if spec.dtype == "dict":
+        codes = {value: code for code, value in enumerate(spec.values)}
+        try:
+            return _pack("q", [codes[v] for v in values])
+        except KeyError as exc:
+            raise ColumnCodecError(
+                f"column {spec.name!r}: value {exc.args[0]!r} is not in the "
+                f"dictionary table"
+            ) from None
+    try:
+        return json.dumps(list(values)).encode()
+    except (TypeError, ValueError) as exc:
+        raise ColumnCodecError(
+            f"column {spec.name!r} holds values that are not JSON-serializable: "
+            f"{exc}"
+        ) from exc
+
+
+def decode_column(spec: ColumnSpec, data: bytes) -> list:
+    """Decode on-disk column bytes back to the ingested value list."""
+    if spec.dtype in ("i64", "f64"):
+        values = _unpack("q" if spec.dtype == "i64" else "d", data)
+    elif spec.dtype == "dict":
+        codes = _unpack("q", data)
+        try:
+            values = [spec.values[code] for code in codes]
+        except IndexError:
+            raise ColumnCodecError(
+                f"column {spec.name!r}: code outside the dictionary table "
+                f"(size {len(spec.values)})"
+            ) from None
+    else:
+        try:
+            values = json.loads(data.decode())
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ColumnCodecError(
+                f"column {spec.name!r}: corrupt JSON column: {exc}"
+            ) from exc
+        if not isinstance(values, list):
+            raise ColumnCodecError(
+                f"column {spec.name!r}: JSON column must decode to a list"
+            )
+    if len(values) != spec.count:
+        raise ColumnCodecError(
+            f"column {spec.name!r}: decoded {len(values)} values, manifest "
+            f"says {spec.count}"
+        )
+    return values
+
+
+def write_column(directory: Path, spec: ColumnSpec, values: Sequence[object]) -> Path:
+    """Write one column file into a run segment directory."""
+    path = Path(directory) / spec.file
+    path.write_bytes(encode_column(spec, values))
+    return path
+
+
+def read_column(directory: Path, spec: ColumnSpec) -> list:
+    """Read one column file of a run segment back to its value list."""
+    path = Path(directory) / spec.file
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise ColumnCodecError(
+            f"column {spec.name!r}: cannot read {path}: {exc}"
+        ) from exc
+    return decode_column(spec, data)

@@ -1,0 +1,60 @@
+"""Ingesting ``BENCH_<exp>.json`` baselines into the trial store.
+
+The committed ``kecss bench`` baselines predate the store; ``kecss store
+import BENCH_e3.json BENCH_e9.json`` migrates them so ``history`` and
+``regress`` see the full recorded trajectory.  Because a baseline payload
+and a live ``kecss bench --store-dir`` run flow through this same function,
+a store populated from a committed baseline is aggregate-for-aggregate
+identical to one populated by re-running the benchmark: the run manifest
+keeps the baseline's rendered table verbatim and the trial columns keep its
+per-trial values bit-for-bit (see :mod:`repro.store.columns`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.bench import validate_baseline
+from repro.store.store import RunInfo, StoreError, TrialStore
+
+__all__ = ["import_baseline", "import_baseline_file"]
+
+
+def import_baseline(
+    store: TrialStore, payload: Mapping, source: str | None = None
+) -> RunInfo:
+    """Ingest one bench baseline payload as a new run segment.
+
+    The payload is validated against the published bench schema first
+    (:func:`repro.analysis.bench.validate_baseline`); the baseline's own
+    ``created_unix`` stamp and provenance (code version, engine
+    configuration, python/platform) are carried into the run manifest, plus
+    the baseline's summary block for reference.
+    """
+    problems = validate_baseline(payload)
+    if problems:
+        raise StoreError(
+            "refusing to import an invalid bench baseline: " + "; ".join(problems)
+        )
+    provenance = dict(payload.get("provenance") or {})
+    provenance["bench_summary"] = payload.get("summary")
+    return store.ingest(
+        payload["experiment"],
+        payload["trials"],
+        created_unix=payload["created_unix"],
+        table=payload.get("table"),
+        provenance=provenance,
+        source=source,
+    )
+
+
+def import_baseline_file(store: TrialStore, path: str | Path) -> RunInfo:
+    """Read a ``BENCH_<exp>.json`` file and ingest it; returns the run info."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise StoreError(f"cannot read baseline {path}: {exc}") from exc
+    return import_baseline(store, payload, source=str(path))

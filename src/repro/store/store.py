@@ -1,0 +1,464 @@
+"""Append-only columnar store of experiment trial batches.
+
+``BENCH_<exp>.json`` baselines are isolated snapshots; this store is the
+durable, queryable layer between the engine and any cross-run tooling.  A
+store is a directory of *run segments*::
+
+    <root>/
+      store.json                    # store manifest (schema + version)
+      segments/
+        run-000001-e3/
+          manifest.json             # run manifest: provenance, table, columns
+          c0.i64  c1.f64  c2.dict   # flat columns, one value per trial
+        run-000002-e3/
+          ...
+
+Each ingested batch becomes one immutable segment: core columns (``seed``,
+``index``, ``duration``, ``cached``), one ``config.<key>`` column per
+configuration key, one ``metrics.<key>`` column per metric, and an ``error``
+column only when a trial actually failed.  Dtypes are inferred per column
+(see :mod:`repro.store.columns`), so reading a run back yields exactly the
+values ingested -- the property the bit-identical aggregate checks rely on.
+
+The run manifest records full provenance: experiment id, the engine's
+``code_version`` tag, backend/worker/cache configuration, python/platform,
+``git describe`` output when a git checkout is reachable, and the caller's
+wall-clock stamp.  Like ``bench.py`` baselines, manifests are schema-checked
+(:func:`validate_run_manifest`) before anything touches disk.
+
+Writes are crash-safe without locks: the segment directory is claimed with
+an atomic ``mkdir``, column files are written first and ``manifest.json``
+last, so a segment is visible to readers only once complete.  Directories
+without a manifest are ignored (and left for inspection).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.code_version import git_describe
+from repro.store.columns import ColumnCodecError, ColumnSpec, build_column, read_column
+
+__all__ = [
+    "STORE_SCHEMA_NAME",
+    "RUN_SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "CORE_COLUMNS",
+    "StoreError",
+    "RunInfo",
+    "RunSlice",
+    "TrialStore",
+    "git_describe",
+    "validate_run_manifest",
+]
+
+STORE_SCHEMA_NAME = "kecss-trial-store"
+RUN_SCHEMA_NAME = "kecss-trial-store-run"
+SCHEMA_VERSION = 1
+
+#: Columns every run carries, before the per-key config/metric columns.
+CORE_COLUMNS = ("seed", "index", "duration", "cached")
+
+#: Keys every ingested trial record must carry (the ``bench.py`` trial shape).
+_REQUIRED_TRIAL_KEYS = frozenset({"config", "seed", "duration", "metrics"})
+
+
+class StoreError(RuntimeError):
+    """Raised for malformed stores, manifests or ingestion payloads."""
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write JSON via a sibling tmp file + rename, so readers never see a
+    truncated document (mirrors the engine cache writer)."""
+    tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """Summary of one stored run segment (manifest-backed, columns unread)."""
+
+    run_id: str
+    sequence: int
+    experiment: str
+    created_unix: float
+    code_version: str
+    trial_count: int
+    path: Path
+    manifest: dict
+
+    @property
+    def table(self) -> dict | None:
+        """The rendered aggregate table stored with the run, if any."""
+        return self.manifest.get("table")
+
+    @property
+    def provenance(self) -> dict:
+        return self.manifest.get("provenance", {})
+
+    def column_specs(self) -> list[ColumnSpec]:
+        return [
+            ColumnSpec.from_manifest(entry)
+            for entry in self.manifest.get("columns", [])
+        ]
+
+
+@dataclass
+class RunSlice:
+    """One run's (possibly filtered and projected) columns."""
+
+    info: RunInfo
+    columns: dict[str, list]
+
+    @property
+    def trial_count(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+
+def validate_run_manifest(payload: object) -> list[str]:
+    """Return the list of schema violations of a run manifest (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"run manifest must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("schema") != RUN_SCHEMA_NAME:
+        problems.append(f"schema must be {RUN_SCHEMA_NAME!r}")
+    if not isinstance(payload.get("schema_version"), int):
+        problems.append("schema_version must be an integer")
+    for key in ("run_id", "experiment", "code_version"):
+        if not isinstance(payload.get(key), str):
+            problems.append(f"{key} must be a string")
+    if not isinstance(payload.get("sequence"), int):
+        problems.append("sequence must be an integer")
+    if not isinstance(payload.get("created_unix"), (int, float)):
+        problems.append("created_unix must be a number")
+    if not isinstance(payload.get("provenance"), dict):
+        problems.append("provenance must be an object")
+    table = payload.get("table")
+    if table is not None:
+        if not isinstance(table, dict) or not isinstance(table.get("columns"), list):
+            problems.append("table must be null or an object with columns")
+    count = payload.get("trial_count")
+    if not isinstance(count, int) or count < 0:
+        problems.append("trial_count must be a non-negative integer")
+    columns = payload.get("columns")
+    if not isinstance(columns, list):
+        problems.append("columns must be a list")
+    else:
+        seen: set[str] = set()
+        for i, entry in enumerate(columns):
+            try:
+                spec = ColumnSpec.from_manifest(entry)
+            except ColumnCodecError as exc:
+                problems.append(f"columns[{i}]: {exc}")
+                break
+            if isinstance(count, int) and spec.count != count:
+                problems.append(
+                    f"columns[{i}] ({spec.name!r}) has count {spec.count}, "
+                    f"run has trial_count {count}"
+                )
+            if spec.name in seen:
+                problems.append(f"duplicate column name {spec.name!r}")
+            seen.add(spec.name)
+    return problems
+
+
+def _trial_columns(trials: Sequence[Mapping]) -> dict[str, list]:
+    """Explode bench-shaped trial records into name -> value-list columns.
+
+    Config and metric keys are the union over the batch; trials missing a key
+    contribute ``None`` (which forces the column to the lossless ``json``
+    dtype).  The ``error`` column is emitted only when some trial failed.
+    """
+    for i, trial in enumerate(trials):
+        if not isinstance(trial, Mapping) or not _REQUIRED_TRIAL_KEYS <= set(trial):
+            missing = (
+                _REQUIRED_TRIAL_KEYS - set(trial)
+                if isinstance(trial, Mapping)
+                else _REQUIRED_TRIAL_KEYS
+            )
+            raise StoreError(f"trials[{i}] is missing fields: {sorted(missing)}")
+        if not isinstance(trial["config"], Mapping) or not isinstance(
+            trial["metrics"], Mapping
+        ):
+            raise StoreError(f"trials[{i}]: config and metrics must be objects")
+
+    columns: dict[str, list] = {
+        "seed": [t["seed"] for t in trials],
+        "index": [t.get("index", i) for i, t in enumerate(trials)],
+        "duration": [float(t["duration"]) for t in trials],
+        "cached": [int(bool(t.get("cached"))) for t in trials],
+    }
+    config_keys = sorted({key for t in trials for key in t["config"]})
+    for key in config_keys:
+        columns[f"config.{key}"] = [t["config"].get(key) for t in trials]
+    metric_keys = sorted({key for t in trials for key in t["metrics"]})
+    for key in metric_keys:
+        columns[f"metrics.{key}"] = [t["metrics"].get(key) for t in trials]
+    if any(t.get("error") is not None for t in trials):
+        columns["error"] = [t.get("error") for t in trials]
+    return columns
+
+
+class TrialStore:
+    """A directory-backed columnar store of trial runs.
+
+    Args:
+        root: Store directory.  Created (with its ``store.json`` manifest)
+            when *create* is true; otherwise the directory must already be a
+            valid store.
+    """
+
+    def __init__(self, root: str | Path, create: bool = True) -> None:
+        self.root = Path(root)
+        manifest = self.root / "store.json"
+        if manifest.is_file():
+            try:
+                payload = json.loads(manifest.read_text())
+            except ValueError as exc:
+                raise StoreError(f"corrupt store manifest {manifest}: {exc}")
+            if payload.get("schema") != STORE_SCHEMA_NAME:
+                raise StoreError(
+                    f"{self.root} is not a trial store (schema "
+                    f"{payload.get('schema')!r}, expected {STORE_SCHEMA_NAME!r})"
+                )
+            if payload.get("schema_version") != SCHEMA_VERSION:
+                raise StoreError(
+                    f"store {self.root} has schema_version "
+                    f"{payload.get('schema_version')!r}; this code reads "
+                    f"{SCHEMA_VERSION}"
+                )
+        elif create:
+            (self.root / "segments").mkdir(parents=True, exist_ok=True)
+            _write_json_atomic(
+                manifest,
+                {"schema": STORE_SCHEMA_NAME, "schema_version": SCHEMA_VERSION},
+            )
+        else:
+            raise StoreError(f"no trial store at {self.root} (missing store.json)")
+
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / "segments"
+
+    # ---------------------------------------------------------------- reading
+    def runs(self, experiment: str | None = None) -> list[RunInfo]:
+        """All committed runs (optionally of one experiment), oldest first.
+
+        Ordering is by the monotonically increasing ingestion sequence, which
+        is what ``history`` / ``regress`` mean by "latest" and "previous" --
+        not by the caller-supplied wall clock, which may be skewed.
+        """
+        runs: list[RunInfo] = []
+        if not self.segments_dir.is_dir():
+            return runs
+        for path in sorted(self.segments_dir.iterdir()):
+            manifest_path = path / "manifest.json"
+            if not manifest_path.is_file():
+                continue  # claimed but never committed (crashed writer)
+            try:
+                payload = json.loads(manifest_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"corrupt run manifest {manifest_path}: {exc}")
+            problems = validate_run_manifest(payload)
+            if problems:
+                raise StoreError(
+                    f"invalid run manifest {manifest_path}: " + "; ".join(problems)
+                )
+            if experiment is not None and payload["experiment"] != experiment:
+                continue
+            runs.append(
+                RunInfo(
+                    run_id=payload["run_id"],
+                    sequence=payload["sequence"],
+                    experiment=payload["experiment"],
+                    created_unix=float(payload["created_unix"]),
+                    code_version=payload["code_version"],
+                    trial_count=payload["trial_count"],
+                    path=path,
+                    manifest=payload,
+                )
+            )
+        runs.sort(key=lambda info: info.sequence)
+        return runs
+
+    def run(self, run_id: str) -> RunInfo:
+        """Look up one run by id."""
+        for info in self.runs():
+            if info.run_id == run_id:
+                return info
+        raise StoreError(f"no run {run_id!r} in store {self.root}")
+
+    def columns(
+        self, run: RunInfo | str, names: Iterable[str] | None = None
+    ) -> dict[str, list]:
+        """Read (a projection of) one run's columns back as name -> values."""
+        info = self.run(run) if isinstance(run, str) else run
+        specs = {spec.name: spec for spec in info.column_specs()}
+        if names is None:
+            wanted = list(specs)
+        else:
+            wanted = list(names)
+            unknown = [name for name in wanted if name not in specs]
+            if unknown:
+                raise StoreError(
+                    f"run {info.run_id!r} has no column(s) {unknown!r}; "
+                    f"available: {sorted(specs)}"
+                )
+        try:
+            return {name: read_column(info.path, specs[name]) for name in wanted}
+        except ColumnCodecError as exc:
+            raise StoreError(f"run {info.run_id!r}: {exc}") from exc
+
+    def query(
+        self,
+        experiment: str | None = None,
+        *,
+        code_version: str | None = None,
+        where: Mapping[str, object] | None = None,
+        columns: Iterable[str] | None = None,
+    ) -> list[RunSlice]:
+        """Filter runs and project columns; one :class:`RunSlice` per run.
+
+        *experiment* and *code_version* filter whole runs via the manifest;
+        *where* filters **rows** by equality on column values (e.g.
+        ``{"config.family": "powerlaw"}``).  A run lacking a ``where`` column
+        contributes no rows and is omitted.  *columns* projects the result
+        (default: every stored column); a projected column absent from a run
+        -- the sparse ``error`` column, or a metric introduced by a newer
+        code version -- is ``None``-filled for that run rather than aborting
+        the query.
+        """
+        where = dict(where or {})
+        slices: list[RunSlice] = []
+        for info in self.runs(experiment):
+            if code_version is not None and info.code_version != code_version:
+                continue
+            available = {spec.name for spec in info.column_specs()}
+            if not set(where) <= available:
+                continue
+            wanted = list(columns) if columns is not None else sorted(available)
+            data = self.columns(info, (set(wanted) | set(where)) & available)
+            for name in wanted:
+                if name not in available:
+                    data[name] = [None] * info.trial_count
+            if where:
+                mask = [
+                    all(data[name][row] == value for name, value in where.items())
+                    for row in range(info.trial_count)
+                ]
+                if not any(mask):
+                    continue
+                data = {
+                    name: [v for v, keep in zip(values, mask) if keep]
+                    for name, values in data.items()
+                }
+            slices.append(
+                RunSlice(info, {name: data[name] for name in wanted})
+            )
+        return slices
+
+    # ---------------------------------------------------------------- writing
+    def _claim_segment(self, experiment: str) -> tuple[int, Path]:
+        """Atomically claim the next run directory (mkdir is the lock)."""
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        existing = [
+            int(path.name.split("-")[1])
+            for path in self.segments_dir.iterdir()
+            if path.name.startswith("run-") and path.name.split("-")[1].isdigit()
+        ]
+        sequence = max(existing, default=0) + 1
+        for _ in range(1000):
+            path = self.segments_dir / f"run-{sequence:06d}-{experiment}"
+            try:
+                path.mkdir()
+            except FileExistsError:
+                sequence += 1
+                continue
+            return sequence, path
+        raise StoreError(
+            f"could not claim a run segment under {self.segments_dir} "
+            f"(1000 consecutive collisions)"
+        )
+
+    def ingest(
+        self,
+        experiment: str,
+        trials: Sequence[Mapping],
+        *,
+        created_unix: float,
+        table: Mapping | None = None,
+        provenance: Mapping[str, object] | None = None,
+        source: str | None = None,
+    ) -> RunInfo:
+        """Append one run segment and return its :class:`RunInfo`.
+
+        *trials* are bench-shaped records (``config`` / ``seed`` / ``index``
+        / ``duration`` / ``cached`` / ``error`` / ``metrics``); *table* is
+        the rendered aggregate table payload, if the caller has one;
+        *created_unix* is the caller's wall-clock stamp (the store never
+        reads the clock itself); *provenance* should carry the engine
+        configuration and the experiment's ``code_version`` tag.
+        """
+        if not isinstance(experiment, str) or not experiment:
+            raise StoreError("experiment must be a non-empty string")
+        # Provenance is recorded verbatim: the *producer* of the data stamps
+        # git describe (see repro.analysis.bench.engine_provenance).  Stamping
+        # here would misattribute imported historical baselines to whatever
+        # commit happens to be checked out at ingestion time.
+        provenance = dict(provenance or {})
+        if source is not None:
+            provenance.setdefault("source", source)
+        column_values = _trial_columns(list(trials))
+        specs: list[ColumnSpec] = []
+        payloads: list[bytes] = []
+        for index, (name, values) in enumerate(column_values.items()):
+            try:
+                spec, data = build_column(name, values, index)
+            except ColumnCodecError as exc:
+                raise StoreError(f"cannot encode column {name!r}: {exc}") from exc
+            specs.append(spec)
+            payloads.append(data)
+        sequence, path = self._claim_segment(experiment)
+        run_id = path.name
+        manifest = {
+            "schema": RUN_SCHEMA_NAME,
+            "schema_version": SCHEMA_VERSION,
+            "run_id": run_id,
+            "sequence": sequence,
+            "experiment": experiment,
+            "created_unix": float(created_unix),
+            "code_version": str(provenance.get("code_version", "unknown")),
+            "provenance": provenance,
+            "table": dict(table) if table is not None else None,
+            "trial_count": len(trials),
+            "columns": [spec.to_manifest() for spec in specs],
+        }
+        problems = validate_run_manifest(manifest)
+        if problems:
+            raise StoreError(
+                "refusing to write an invalid run manifest: " + "; ".join(problems)
+            )
+        for spec, data in zip(specs, payloads):
+            (path / spec.file).write_bytes(data)
+        # The manifest is written last and renamed into place: its presence
+        # commits the segment, and a crash mid-write leaves only a .tmp file
+        # (the segment stays invisible) instead of a corrupt manifest that
+        # would brick every read of the store.
+        _write_json_atomic(path / "manifest.json", manifest)
+        return RunInfo(
+            run_id=run_id,
+            sequence=sequence,
+            experiment=experiment,
+            created_unix=float(created_unix),
+            code_version=manifest["code_version"],
+            trial_count=len(trials),
+            path=path,
+            manifest=manifest,
+        )

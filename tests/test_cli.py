@@ -25,6 +25,20 @@ class TestFamiliesCommand:
         output = capsys.readouterr().out
         assert "weighted-sparse" in output
         assert "torus" in output
+        assert "powerlaw" in output
+        assert "hypercube" in output
+
+    def test_prints_descriptions_and_size_scaling(self, capsys):
+        """Each family row carries its builder description and the instance
+        size the builder actually returns for ~48 requested vertices."""
+        assert main(["families"]) == 0
+        output = capsys.readouterr().out
+        from repro.graphs.generators import FAMILIES
+
+        for family in FAMILIES.values():
+            assert family.description in output
+            graph = family(48, seed=0)
+            assert f"{graph.number_of_nodes()}v/{graph.number_of_edges()}e" in output
 
 
 class TestSolveCommand:

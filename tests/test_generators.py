@@ -14,7 +14,9 @@ from repro.graphs.generators import (
     cycle_with_chords,
     grid_torus,
     harary_graph,
+    hypercube_graph,
     make_family,
+    powerlaw_two_edge_connected,
     random_k_edge_connected_graph,
 )
 
@@ -154,6 +156,68 @@ class TestRandomKEdgeConnectedGraph:
     def test_property_always_k_edge_connected(self, n, k):
         graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.1, seed=n * 31 + k)
         assert is_k_edge_connected(graph, k)
+
+
+class TestPowerlawTwoEdgeConnected:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_is_two_edge_connected(self, seed):
+        graph = powerlaw_two_edge_connected(24, seed=seed)
+        assert is_k_edge_connected(graph, 2)
+
+    def test_degrees_are_heavy_tailed(self):
+        # Preferential attachment: the hub dominates the median degree.
+        graph = powerlaw_two_edge_connected(120, seed=1)
+        degrees = sorted(d for _, d in graph.degree())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_deterministic_given_seed(self):
+        a = powerlaw_two_edge_connected(30, seed=9)
+        b = powerlaw_two_edge_connected(30, seed=9)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_unit_weights(self):
+        graph = powerlaw_two_edge_connected(16, seed=2)
+        assert all(d["weight"] == 1 for _, _, d in graph.edges(data=True))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            powerlaw_two_edge_connected(3, attachments=2)
+        with pytest.raises(ValueError):
+            powerlaw_two_edge_connected(10, attachments=0)
+
+
+class TestHypercubeGraph:
+    @pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+    def test_d_regular_and_d_edge_connected(self, dimension):
+        graph = hypercube_graph(dimension)
+        assert graph.number_of_nodes() == 2 ** dimension
+        assert {d for _, d in graph.degree()} == {dimension}
+        assert edge_connectivity(graph) == dimension
+
+    def test_diameter_is_the_dimension(self):
+        import networkx as nx
+
+        assert nx.diameter(hypercube_graph(4)) == 4
+
+    def test_family_builder_rounds_to_the_nearest_power_of_two(self):
+        graph = make_family("hypercube")(20, seed=0)
+        assert graph.number_of_nodes() == 16  # Q_4: round(log2 20) = 4
+
+    def test_rejects_small_dimension(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(1)
+
+
+class TestNewFamiliesInDiffSweeps:
+    def test_both_families_are_in_every_engine_sharded_sweep_grid(self):
+        """Registering in FAMILIES is what enrolls a family in the sharded
+        ``diff-fastgraph-*`` / ``diff-tap-*`` / ``diff-labels-*`` suites."""
+        from repro.analysis.differential import fastgraph_jobs, tap_labels_jobs
+
+        for grids in (fastgraph_jobs(2), tap_labels_jobs(2)):
+            for name, jobs in grids.items():
+                families = {job.config_dict["family"] for job in jobs}
+                assert {"powerlaw", "hypercube"} <= families, name
 
 
 class TestWeightAssignment:

@@ -20,9 +20,12 @@ Guards in the default test run:
   stricter n = 400 variant behind the ``slow`` marker;
 * ``kecss bench --dry-run`` emits baseline JSON that passes the published
   schema check (and a written baseline round-trips through it);
-* ``kecss bench e3 --against BENCH_e3.json`` reproduces the committed
-  TAP-heavy baseline bit-identically, so the drift detection itself is
-  exercised on every default test run;
+* ``kecss bench e3 --against BENCH_e3.json`` and ``kecss bench e9 --against
+  BENCH_e9.json`` reproduce the committed baselines bit-identically, so the
+  drift detection itself is exercised on every default test run;
+* ``kecss regress`` round-trips on a columnar store freshly populated from
+  the committed baselines plus a live ``kecss bench --store-dir`` run of
+  each (the cross-run superset of ``--against``);
 * timings are printed so the speedups are visible in the test log with
   ``-s``.
 """
@@ -253,6 +256,18 @@ def test_bench_against_committed_e3_baseline(capsys):
     assert "aggregates match" in out
 
 
+def test_bench_against_committed_e9_baseline(capsys):
+    """``kecss bench e9 --against`` matches the committed voting-ablation
+    baseline, so drift detection is exercised on a second experiment (the
+    voting/no-voting TAP comparison) in every default run."""
+    baseline = Path(__file__).resolve().parents[1] / "BENCH_e9.json"
+    assert baseline.is_file(), "BENCH_e9.json must be committed at the repo root"
+    exit_code = kecss_main(["bench", "e9", "--against", str(baseline)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"E9 aggregates drifted from the committed baseline:\n{out}"
+    assert "aggregates match" in out
+
+
 def test_bench_writes_and_revalidates_a_baseline(tmp_path, capsys):
     """``kecss bench e7 --out ...`` writes a file that round-trips the schema
     and matches itself under ``--against`` (bit-identical aggregates)."""
@@ -263,3 +278,35 @@ def test_bench_writes_and_revalidates_a_baseline(tmp_path, capsys):
     capsys.readouterr()
     assert kecss_main(["bench", "e7", "--against", str(out)]) == 0
     assert "aggregates match" in capsys.readouterr().out
+
+
+# ------------------------------------------------- store regression round trip
+def test_regress_round_trips_on_committed_baselines(tmp_path, capsys):
+    """The cross-run drift check round-trips on the committed baselines.
+
+    ``kecss store import`` migrates the repository's ``BENCH_e3.json`` /
+    ``BENCH_e9.json`` into a fresh columnar store, ``kecss bench
+    --store-dir`` appends a live run of each, and ``kecss regress`` --
+    comparing the live run against the imported baseline version at zero
+    tolerance -- must pass: the end-to-end superset of ``bench --against``.
+    """
+    root = Path(__file__).resolve().parents[1]
+    store_dir = tmp_path / "store"
+    assert kecss_main([
+        "store", "import", str(root / "BENCH_e3.json"),
+        str(root / "BENCH_e9.json"), "--store-dir", str(store_dir),
+    ]) == 0
+    for experiment in ("e3", "e9"):
+        assert kecss_main([
+            "bench", experiment, "--store-dir", str(store_dir),
+            "--out", str(tmp_path / f"B_{experiment}.json"),
+        ]) == 0
+        capsys.readouterr()
+        assert kecss_main(["history", experiment, "--store-dir", str(store_dir)]) == 0
+        assert f"history: {experiment}" in capsys.readouterr().out
+        exit_code = kecss_main(["regress", experiment, "--store-dir", str(store_dir)])
+        out = capsys.readouterr().out
+        assert exit_code == 0, (
+            f"{experiment} drifted from its imported baseline:\n{out}"
+        )
+        assert "no drift beyond tolerance" in out
