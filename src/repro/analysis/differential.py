@@ -34,6 +34,14 @@ implementations (``distributed_tap_nx`` / ``greedy_tap_nx`` /
 augmentation sets, weights, iteration counts, per-iteration histories and
 label maps.
 
+The ``diff-3ecss-kernel`` and ``diff-kecss-kernel`` trials close the loop on
+the solver inner loops themselves: the kernel-backed :func:`three_ecss` /
+:func:`k_ecss` / :func:`augment_to_k` (CSR path-label scoring and bitset cut
+coverage from :mod:`repro.core.fastaug`) are run against the retained
+``three_ecss_nx`` / ``k_ecss_nx`` / ``augment_to_k_nx`` oracles with
+identical seeds, asserting bit-identical added-edge sets, weights, iteration
+counts and per-iteration histories.
+
 Instance sizes are derived from ``(config, seed)`` exactly as the historical
 per-seed pytest parametrization did, so every backend sees the same graphs
 and every assertion stays deterministic.
@@ -49,12 +57,13 @@ import networkx as nx
 from repro.analysis.engine import TrialJob
 from repro.analysis.experiments import register_trial
 from repro.baselines.exact import exact_k_ecss_weight
-from repro.core.k_ecss import k_ecss
-from repro.core.three_ecss import three_ecss
+from repro.core.k_ecss import augment_to_k, augment_to_k_nx, k_ecss, k_ecss_nx
+from repro.core.three_ecss import three_ecss, three_ecss_nx
 from repro.core.two_ecss import two_ecss
 from repro.graphs.connectivity import (
     bridges,
     bridges_nx,
+    canonical_edge,
     edge_connectivity,
     edge_connectivity_nx,
     is_k_edge_connected,
@@ -92,11 +101,14 @@ __all__ = [
     "diff_tap_greedy_trial",
     "diff_labels_random_trial",
     "diff_labels_exact_trial",
+    "diff_three_ecss_kernel_trial",
+    "diff_k_ecss_kernel_trial",
     "two_ecss_jobs",
     "three_ecss_jobs",
     "k_ecss_jobs",
     "fastgraph_jobs",
     "tap_labels_jobs",
+    "solver_kernel_jobs",
     "medium_sweep_jobs",
 ]
 
@@ -449,6 +461,132 @@ def diff_labels_exact_trial(config: Config, seed: int) -> dict:
     return {"n": graph.number_of_nodes(), "cut_pairs": len(fast_pairs)}
 
 
+# ----------------------------------------------------- solver kernel parity
+#: Module dependencies of the solver-kernel differential trials: the cache
+#: code-version covers the fastaug kernels, both solvers and their oracles.
+_AUG_MODULES = (
+    "repro.analysis.differential",
+    "repro.core.fastaug",
+    "repro.core.three_ecss",
+    "repro.core.k_ecss",
+    "repro.core.augmentation",
+    "repro.core.cost_effectiveness",
+    "repro.cycle_space",
+    "repro.trees",
+    "repro.graphs",
+    "repro.mst",
+    "repro.congest",
+)
+
+
+def _solver_instance(config: Config, seed: int, k: int) -> nx.Graph:
+    """One seeded family instance lifted to k-edge-connectivity if needed."""
+    family = FAMILIES[config["family"]]
+    n = 10 + seed % 13
+    graph = family(n, seed=seed)
+    if not is_k_edge_connected(graph, k):
+        graph.add_edges_from(nx.k_edge_augmentation(graph, k))
+    return graph
+
+
+@register_trial("diff-3ecss-kernel", modules=_AUG_MODULES)
+def diff_three_ecss_kernel_trial(config: Config, seed: int) -> dict:
+    """Kernel-backed 3-ECSS vs the ``Counter`` oracle: bit-identical runs.
+
+    Both consume the same RNG stream (labels first, then one draw per
+    candidate in ``repr`` order), so the added-edge set, the iteration count
+    and every :class:`~repro.core.three_ecss.ThreeEcssIterationStats` record
+    must match exactly -- in random- and exact-label modes.
+    """
+    graph = _solver_instance(config, seed, 3)
+    for exact in (False, True):
+        fast = three_ecss(graph, seed=seed, exact_labels=exact)
+        oracle = three_ecss_nx(graph, seed=seed, exact_labels=exact)
+        if fast.edges != oracle.edges:
+            raise AssertionError(
+                f"3-ECSS edge sets disagree (exact={exact}): only-fast="
+                f"{sorted(fast.edges - oracle.edges)!r} "
+                f"only-oracle={sorted(oracle.edges - fast.edges)!r}"
+            )
+        if (fast.weight, fast.num_edges, fast.iterations) != (
+            oracle.weight, oracle.num_edges, oracle.iterations
+        ):
+            raise AssertionError(
+                f"weight/size/iterations disagree (exact={exact}): "
+                f"fast ({fast.weight}, {fast.num_edges}, {fast.iterations}) vs "
+                f"oracle ({oracle.weight}, {oracle.num_edges}, {oracle.iterations})"
+            )
+        if fast.metadata["iterations_history"] != oracle.metadata["iterations_history"]:
+            raise AssertionError(f"per-iteration histories disagree (exact={exact})")
+        if (fast.metadata["h_size"], fast.metadata["augmentation_size"]) != (
+            oracle.metadata["h_size"], oracle.metadata["augmentation_size"]
+        ):
+            raise AssertionError(f"H/A split disagrees (exact={exact})")
+        if fast.ledger.total_rounds != oracle.ledger.total_rounds:
+            raise AssertionError(f"ledger round charges disagree (exact={exact})")
+        if exact is False:
+            random_result = fast
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "edges": random_result.num_edges,
+        "iterations": random_result.iterations,
+    }
+
+
+@register_trial("diff-kecss-kernel", modules=_AUG_MODULES)
+def diff_k_ecss_kernel_trial(config: Config, seed: int) -> dict:
+    """Bitset-kernel k-ECSS vs the frozenset oracle: bit-identical runs.
+
+    Checks the full Theorem 1.2 composition (added edges, weight, iteration
+    counts, per-stage summaries) and, separately, one explicit ``Aug_2``
+    level over the MST base with a pinned ``cut_seed``, where the
+    per-iteration :class:`~repro.core.k_ecss.AugIterationStats` histories --
+    including the incrementally maintained uncovered-cut counts -- must match
+    record for record.
+    """
+    k = config["k"]
+    graph = _solver_instance(config, seed, k)
+    fast = k_ecss(graph, k, seed=seed)
+    oracle = k_ecss_nx(graph, k, seed=seed)
+    if fast.edges != oracle.edges:
+        raise AssertionError(
+            f"k-ECSS edge sets disagree: only-fast="
+            f"{sorted(fast.edges - oracle.edges)!r} "
+            f"only-oracle={sorted(oracle.edges - fast.edges)!r}"
+        )
+    if (fast.weight, fast.iterations) != (oracle.weight, oracle.iterations):
+        raise AssertionError(
+            f"weight/iterations disagree: fast ({fast.weight}, {fast.iterations}) "
+            f"vs oracle ({oracle.weight}, {oracle.iterations})"
+        )
+    if fast.metadata["stages"] != oracle.metadata["stages"]:
+        raise AssertionError("per-stage summaries disagree")
+    if fast.ledger.total_rounds != oracle.ledger.total_rounds:
+        raise AssertionError("ledger round charges disagree")
+
+    mst_edges = frozenset(
+        canonical_edge(u, v) for u, v in minimum_spanning_tree(graph).edges()
+    )
+    level = augment_to_k(graph, mst_edges, 2, seed=seed, cut_seed=seed)
+    level_oracle = augment_to_k_nx(graph, mst_edges, 2, seed=seed, cut_seed=seed)
+    if level.added != level_oracle.added:
+        raise AssertionError("Aug_2 added-edge sets disagree")
+    if (level.weight, level.iterations) != (level_oracle.weight, level_oracle.iterations):
+        raise AssertionError("Aug_2 weight/iterations disagree")
+    if level.metadata["history"] != level_oracle.metadata["history"]:
+        raise AssertionError("Aug_2 per-iteration histories disagree")
+    if level.ledger.total_rounds != level_oracle.ledger.total_rounds:
+        raise AssertionError("Aug_2 ledger round charges disagree")
+    return {
+        "n": graph.number_of_nodes(),
+        "m": graph.number_of_edges(),
+        "k": k,
+        "weight": float(fast.weight),
+        "aug2_iterations": level.iterations,
+    }
+
+
 # ------------------------------------------------------------- job builders
 def _jobs(experiment: str, family: str, seeds: Sequence[int], **extra) -> list[TrialJob]:
     return [
@@ -523,6 +661,34 @@ def tap_labels_jobs(n_graphs: int = 50) -> dict[str, list[TrialJob]]:
             "diff-labels-random",
             "diff-labels-exact",
         )
+    }
+
+
+def solver_kernel_jobs(n_graphs: int = 50) -> dict[str, list[TrialJob]]:
+    """The solver-kernel differential grid, keyed by trial name.
+
+    *n_graphs* seeded instances of **every** registered generator family per
+    solver, mirroring :func:`tap_labels_jobs` (the acceptance bar is >= 50
+    per family).  The k-ECSS grid alternates the target connectivity between
+    2 and 3 by seed so both the bridge-cut and the randomised cut-enumeration
+    paths are exercised.
+    """
+    return {
+        "diff-3ecss-kernel": [
+            job
+            for family in sorted(FAMILIES)
+            for job in _jobs("diff-3ecss-kernel", family, range(n_graphs))
+        ],
+        "diff-kecss-kernel": [
+            TrialJob.make(
+                "diff-kecss-kernel",
+                {"family": family, "k": 2 + seed % 2},
+                seed,
+                index=seed,
+            )
+            for family in sorted(FAMILIES)
+            for seed in range(n_graphs)
+        ],
     }
 
 

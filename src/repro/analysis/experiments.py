@@ -308,6 +308,7 @@ def experiment_e3_tap_iterations(
     modules=(
         "repro.analysis.experiments",
         "repro.core.k_ecss",
+        "repro.core.fastaug",
         "repro.core.augmentation",
         "repro.core.cost_effectiveness",
         "repro.core.result",
@@ -384,6 +385,7 @@ def experiment_e4_k_ecss(
     modules=(
         "repro.analysis.experiments",
         "repro.core.three_ecss",
+        "repro.core.fastaug",
         "repro.core.cost_effectiveness",
         "repro.core.result",
         "repro.baselines.thurimella",
@@ -569,6 +571,7 @@ def experiment_e7_cycle_space(
     modules=(
         "repro.analysis.experiments",
         "repro.core.k_ecss",
+        "repro.core.fastaug",
         "repro.core.augmentation",
         "repro.core.cost_effectiveness",
         "repro.core.result",
@@ -687,6 +690,7 @@ def experiment_e9_voting_ablation(
     modules=(
         "repro.analysis.experiments",
         "repro.core.k_ecss",
+        "repro.core.fastaug",
         "repro.core.augmentation",
         "repro.core.cost_effectiveness",
         "repro.core.result",

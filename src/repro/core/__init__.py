@@ -12,6 +12,8 @@
   Claim 2.1.
 * :mod:`repro.core.cost_effectiveness` -- exact (fraction-valued) cost
   effectiveness and the power-of-two rounding used for candidate selection.
+* :mod:`repro.core.fastaug` -- the flat-array kernels behind the solver inner
+  loops (CSR path-label scoring, bitset cut coverage, the guessing schedule).
 * :mod:`repro.core.result` -- the :class:`~repro.core.result.ECSSResult`
   returned by every solver.
 """
@@ -24,9 +26,10 @@ from repro.core.cost_effectiveness import (
     round_up_to_power_of_two,
 )
 from repro.core.augmentation import AugmentationResult, compose_augmentations
+from repro.core.fastaug import BitsetCoverKernel, GuessingSchedule, PathLabelKernel
 from repro.core.two_ecss import two_ecss, weighted_tap
-from repro.core.k_ecss import k_ecss, augment_to_k
-from repro.core.three_ecss import three_ecss, unweighted_two_ecss_2approx
+from repro.core.k_ecss import k_ecss, k_ecss_nx, augment_to_k, augment_to_k_nx
+from repro.core.three_ecss import three_ecss, three_ecss_nx, unweighted_two_ecss_2approx
 
 __all__ = [
     "ECSSResult",
@@ -38,8 +41,14 @@ __all__ = [
     "compose_augmentations",
     "two_ecss",
     "weighted_tap",
+    "BitsetCoverKernel",
+    "GuessingSchedule",
+    "PathLabelKernel",
     "k_ecss",
+    "k_ecss_nx",
     "augment_to_k",
+    "augment_to_k_nx",
     "three_ecss",
+    "three_ecss_nx",
     "unweighted_two_ecss_2approx",
 ]

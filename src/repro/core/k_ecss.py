@@ -17,14 +17,22 @@ Each level ``i`` raises the connectivity of the running subgraph ``H`` from
 Level 1 is solved by the MST itself (the MST is an optimal augmentation from
 connectivity 0 to 1), exactly as the 2-ECSS algorithm does; the generic
 procedure is used for every level ``i >= 2``.
+
+Two implementations share this structure.  :func:`augment_to_k` keeps the
+cut-coverage state in :class:`repro.core.fastaug.BitsetCoverKernel` -- packed
+integer bitmasks with incrementally maintained live-cover counters, so each
+iteration costs a flat counter scan instead of ``O(|E| * |cuts|)`` frozenset
+intersections.  :func:`augment_to_k_nx` (and :func:`k_ecss_nx` above it) is
+the historical frozenset implementation, retained as the differential oracle;
+the ``diff-kecss-kernel`` sweep asserts bit-identical added-edge sets,
+weights, iteration counts and histories.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Hashable
+from typing import Callable, Hashable
 
 import networkx as nx
 
@@ -35,7 +43,8 @@ from repro.core.augmentation import (
     build_subgraph,
     compose_augmentations,
 )
-from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS, rounded_cost_effectiveness
+from repro.core.cost_effectiveness import rounded_cost_effectiveness
+from repro.core.fastaug import BitsetCoverKernel, GuessingSchedule
 from repro.core.result import ECSSResult
 from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
 from repro.graphs.cuts import Cut, enumerate_cuts_of_size
@@ -44,7 +53,13 @@ from repro.mst.sequential import minimum_spanning_tree
 
 Edge = tuple[Hashable, Hashable]
 
-__all__ = ["AugIterationStats", "augment_to_k", "k_ecss"]
+__all__ = [
+    "AugIterationStats",
+    "augment_to_k",
+    "augment_to_k_nx",
+    "k_ecss",
+    "k_ecss_nx",
+]
 
 
 @dataclass(frozen=True)
@@ -59,9 +74,32 @@ class AugIterationStats:
     uncovered_remaining: int
 
 
-def _probability_schedule_start(m: int) -> float:
-    """Initial activation probability 1 / 2^ceil(log2 m)."""
-    return 1.0 / (2 ** max(1, math.ceil(math.log2(max(m, 2)))))
+def _level_setup(
+    graph: nx.Graph,
+    current_edges: frozenset[Edge],
+    k: int,
+    cost_model: CostModel | None,
+    cut_seed: int | None,
+) -> tuple[CostModel, RoundLedger, list[Cut], list[Edge], dict[Edge, int]]:
+    """Shared preamble of one ``Aug_k`` level (broadcast + cut enumeration)."""
+    if cost_model is None:
+        cost_model = CostModel(n=graph.number_of_nodes(), diameter=hop_diameter(graph))
+    subgraph = build_subgraph(graph, current_edges)
+    ledger = RoundLedger()
+    ledger.add(
+        "aug-state-broadcast",
+        cost_model.aug_state_broadcast_rounds(len(current_edges)),
+        note=f"all vertices learn H (|H| = {len(current_edges)} edges, O(D + |H|))",
+    )
+    cuts: list[Cut] = enumerate_cuts_of_size(subgraph, k - 1, seed=cut_seed)
+    current = frozenset(canonical_edge(u, v) for u, v in current_edges)
+    candidates_pool = [
+        canonical_edge(u, v) for u, v in graph.edges() if canonical_edge(u, v) not in current
+    ]
+    weight_of = {
+        edge: graph[edge[0]][edge[1]].get("weight", 1) for edge in candidates_pool
+    }
+    return cost_model, ledger, cuts, candidates_pool, weight_of
 
 
 def augment_to_k(
@@ -93,37 +131,157 @@ def augment_to_k(
     Returns:
         An :class:`AugmentationResult` whose ``added`` edges, together with
         ``current_edges``, form a k-edge-connected spanning subgraph.
+        Bit-identical to :func:`augment_to_k_nx` for the same arguments.
     """
     rng = seed if isinstance(seed, random.Random) else random.Random(seed)
     n = graph.number_of_nodes()
     m = graph.number_of_edges()
-    if cost_model is None:
-        cost_model = CostModel(n=n, diameter=hop_diameter(graph))
+    cost_model, ledger, cuts, candidates_pool, weight_of = _level_setup(
+        graph, current_edges, k, cost_model, cut_seed
+    )
     if max_iterations is None:
         max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
-
-    subgraph = build_subgraph(graph, current_edges)
-    ledger = RoundLedger()
-    ledger.add(
-        "aug-state-broadcast",
-        cost_model.aug_state_broadcast_rounds(len(current_edges)),
-        note=f"all vertices learn H (|H| = {len(current_edges)} edges, O(D + |H|))",
-    )
-
-    cuts: list[Cut] = enumerate_cuts_of_size(subgraph, k - 1, seed=cut_seed)
     if not cuts:
         return AugmentationResult(
             added=frozenset(), weight=0, iterations=0, ledger=ledger,
             metadata={"cuts": 0, "history": []},
         )
 
-    current = frozenset(canonical_edge(u, v) for u, v in current_edges)
-    candidates_pool = [
-        canonical_edge(u, v) for u, v in graph.edges() if canonical_edge(u, v) not in current
-    ]
-    weight_of = {
-        edge: graph[edge[0]][edge[1]].get("weight", 1) for edge in candidates_pool
-    }
+    kernel = BitsetCoverKernel(
+        candidates_pool,
+        [weight_of[edge] for edge in candidates_pool],
+        [
+            [index for index, cut in enumerate(cuts) if (u in cut.side) != (v in cut.side)]
+            for u, v in candidates_pool
+        ],
+        len(cuts),
+    )
+    index_of = {edge: j for j, edge in enumerate(candidates_pool)}
+    cand_repr = kernel.cand_repr
+
+    added: set[Edge] = set()
+    history: list[AugIterationStats] = []
+    schedule = GuessingSchedule(m, max(1, schedule_constant * cost_model.log_n))
+
+    iteration = 0
+    while not kernel.all_covered:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(
+                f"Aug_{k} did not converge within {max_iterations} iterations"
+            )
+
+        # Lines 1-2: one flat scan of the incrementally maintained counters.
+        cand_ids, exponents, maximum = kernel.score()
+        if maximum is None:
+            raise RuntimeError(
+                f"no edge of G covers the remaining cuts of size {k - 1}; "
+                f"the input graph is not {k}-edge-connected"
+            )
+        candidate_ids = sorted(
+            (j for j, exponent in zip(cand_ids, exponents) if exponent == maximum),
+            key=cand_repr.__getitem__,
+        )
+
+        probability = schedule.update(maximum)
+
+        # Line 3: activation.
+        if probability >= 1.0:
+            active_ids = list(candidate_ids)
+        else:
+            active_ids = [j for j in candidate_ids if rng.random() < probability]
+        active = [kernel.cand_edges[j] for j in active_ids]
+
+        # Line 4: MST filtering keeps A acyclic.
+        newly_added: list[Edge] = []
+        if active:
+            if use_mst_filter:
+                chosen = _mst_filter(graph, added, active)
+            else:
+                chosen = list(active)
+            for edge in chosen:
+                if edge not in added:
+                    added.add(edge)
+                    newly_added.append(edge)
+
+        if newly_added:
+            kernel.add_many(index_of[edge] for edge in newly_added)
+
+        ledger.add(
+            "aug-iteration",
+            cost_model.aug_iteration_rounds(len(newly_added)),
+            note=f"Aug_{k} iteration {iteration} (Lemma 4.4)",
+        )
+        history.append(
+            AugIterationStats(
+                iteration=iteration,
+                probability=probability,
+                candidates=len(candidate_ids),
+                active=len(active),
+                added=len(newly_added),
+                uncovered_remaining=kernel.uncovered_count,
+            )
+        )
+
+    return AugmentationResult(
+        added=frozenset(added),
+        weight=sum(weight_of[edge] for edge in added),
+        iterations=iteration,
+        ledger=ledger,
+        metadata={"cuts": len(cuts), "history": history, "k": k},
+    )
+
+
+def _recompute_effectiveness_nx(
+    candidates_pool: list[Edge],
+    added: set[Edge],
+    covers: dict[Edge, frozenset[int]],
+    uncovered: set[int],
+    weight_of: dict[Edge, int],
+) -> dict[Edge, object]:
+    """The historical O(|E| * |cuts|) recompute (the oracle inner loop)."""
+    effectiveness: dict[Edge, object] = {}
+    for edge in candidates_pool:
+        if edge in added:
+            continue
+        live = len(covers[edge] & uncovered)
+        if live == 0:
+            continue
+        effectiveness[edge] = rounded_cost_effectiveness(live, weight_of[edge])
+    return effectiveness
+
+
+def augment_to_k_nx(
+    graph: nx.Graph,
+    current_edges: frozenset[Edge],
+    k: int,
+    seed: int | random.Random | None = None,
+    schedule_constant: int = 2,
+    cost_model: CostModel | None = None,
+    use_mst_filter: bool = True,
+    max_iterations: int | None = None,
+    cut_seed: int | None = None,
+) -> AugmentationResult:
+    """Historical frozenset ``Aug_k``, retained as the differential oracle.
+
+    Same arguments and bit-identical output as :func:`augment_to_k`; coverage
+    is recomputed with frozenset intersections against the uncovered-cut set
+    whenever edges join ``A``.
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    cost_model, ledger, cuts, candidates_pool, weight_of = _level_setup(
+        graph, current_edges, k, cost_model, cut_seed
+    )
+    if max_iterations is None:
+        max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
+    if not cuts:
+        return AugmentationResult(
+            added=frozenset(), weight=0, iterations=0, ledger=ledger,
+            metadata={"cuts": 0, "history": []},
+        )
+
     covers: dict[Edge, frozenset[int]] = {}
     for edge in candidates_pool:
         u, v = edge
@@ -135,10 +293,7 @@ def augment_to_k(
     added: set[Edge] = set()
     history: list[AugIterationStats] = []
 
-    probability = _probability_schedule_start(m)
-    phase_length = max(1, schedule_constant * cost_model.log_n)
-    phase_counter = 0
-    current_max = None
+    schedule = GuessingSchedule(m, max(1, schedule_constant * cost_model.log_n))
     effectiveness_dirty = True
     effectiveness: dict[Edge, object] = {}
 
@@ -152,14 +307,9 @@ def augment_to_k(
 
         # Lines 1-2: (re)compute rounded cost-effectiveness when coverage changed.
         if effectiveness_dirty:
-            effectiveness = {}
-            for edge in candidates_pool:
-                if edge in added:
-                    continue
-                live = len(covers[edge] & uncovered)
-                if live == 0:
-                    continue
-                effectiveness[edge] = rounded_cost_effectiveness(live, weight_of[edge])
+            effectiveness = _recompute_effectiveness_nx(
+                candidates_pool, added, covers, uncovered, weight_of
+            )
             effectiveness_dirty = False
         if not effectiveness:
             raise RuntimeError(
@@ -171,15 +321,7 @@ def augment_to_k(
             (edge for edge, value in effectiveness.items() if value == maximum), key=repr
         )
 
-        # Probability schedule bookkeeping.
-        if maximum != current_max:
-            current_max = maximum
-            probability = _probability_schedule_start(m)
-            phase_counter = 0
-        elif phase_counter >= phase_length and probability < 1.0:
-            probability = min(1.0, probability * 2)
-            phase_counter = 0
-        phase_counter += 1
+        probability = schedule.update(maximum)
 
         # Line 3: activation.
         if probability >= 1.0:
@@ -253,19 +395,15 @@ def _mst_filter(graph: nx.Graph, zero_weight_edges: set[Edge], active: list[Edge
     return [edge for edge in active if mst.has_edge(*edge)]
 
 
-def k_ecss(
+def _k_ecss_impl(
     graph: nx.Graph,
     k: int,
-    seed: int | random.Random | None = None,
-    schedule_constant: int = 2,
-    use_mst_filter: bool = True,
+    seed: int | random.Random | None,
+    schedule_constant: int,
+    use_mst_filter: bool,
+    level_solver: Callable[..., AugmentationResult],
 ) -> ECSSResult:
-    """Weighted k-ECSS (Theorem 1.2): iterated ``Aug_i`` for ``i = 1..k``.
-
-    Level 1 uses the MST (optimal for raising connectivity from 0 to 1);
-    levels 2..k use :func:`augment_to_k`.  The composition argument of
-    Claim 2.1 gives an O(k log n) expected approximation ratio.
-    """
+    """Shared Theorem 1.2 composition driver (MST level + ``Aug_2..k``)."""
     if k < 1:
         raise ValueError("k must be >= 1")
     if not is_k_edge_connected(graph, k):
@@ -285,7 +423,7 @@ def k_ecss(
                                   metadata={"stage": "mst"})
 
     def aug_solver(g: nx.Graph, current: frozenset[Edge], level: int) -> AugmentationResult:
-        return augment_to_k(
+        return level_solver(
             g,
             current,
             level,
@@ -323,3 +461,30 @@ def k_ecss(
         algorithm="dory-kecss",
         metadata=metadata,
     )
+
+
+def k_ecss(
+    graph: nx.Graph,
+    k: int,
+    seed: int | random.Random | None = None,
+    schedule_constant: int = 2,
+    use_mst_filter: bool = True,
+) -> ECSSResult:
+    """Weighted k-ECSS (Theorem 1.2): iterated ``Aug_i`` for ``i = 1..k``.
+
+    Level 1 uses the MST (optimal for raising connectivity from 0 to 1);
+    levels 2..k use the kernel-backed :func:`augment_to_k`.  The composition
+    argument of Claim 2.1 gives an O(k log n) expected approximation ratio.
+    """
+    return _k_ecss_impl(graph, k, seed, schedule_constant, use_mst_filter, augment_to_k)
+
+
+def k_ecss_nx(
+    graph: nx.Graph,
+    k: int,
+    seed: int | random.Random | None = None,
+    schedule_constant: int = 2,
+    use_mst_filter: bool = True,
+) -> ECSSResult:
+    """:func:`k_ecss` over the historical :func:`augment_to_k_nx` oracle."""
+    return _k_ecss_impl(graph, k, seed, schedule_constant, use_mst_filter, augment_to_k_nx)

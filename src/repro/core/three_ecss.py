@@ -13,14 +13,25 @@ rounds (a BFS tree plus one covering non-tree edge per tree edge, following
    MST filtering);
 4. the algorithm stops once no tree edge shares its label with another edge
    (Claim 5.10), i.e. ``H ∪ A`` is 3-edge-connected.
+
+Two implementations share this driver structure.  :func:`three_ecss` scores
+each iteration with :class:`repro.core.fastaug.PathLabelKernel` -- candidate
+tree paths as CSR flat arrays over integer tree-edge ids, per-label counts on
+round-stamped arrays, and the power-of-two rounding collapsed to one
+``int.bit_length()`` per value.  :func:`three_ecss_nx` is the historical
+``Counter``-per-candidate implementation, retained as the differential oracle
+(the ``diff-3ecss-kernel`` sweep asserts bit-identical results).  Both consume
+the seeded RNG in exactly the same order -- labels first, then one draw per
+candidate in ``repr`` order -- so outputs, iteration counts and histories
+match bit for bit.
 """
 
 from __future__ import annotations
 
-import math
 import random
 from collections import Counter
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Hashable
 
 import networkx as nx
@@ -28,6 +39,7 @@ import networkx as nx
 from repro.congest.cost_model import CostModel
 from repro.congest.metrics import RoundLedger
 from repro.core.cost_effectiveness import round_up_to_power_of_two
+from repro.core.fastaug import GuessingSchedule, PathLabelKernel
 from repro.core.result import ECSSResult
 from repro.cycle_space.labels import compute_labels
 from repro.graphs.connectivity import canonical_edge, is_k_edge_connected
@@ -35,11 +47,14 @@ from repro.graphs.fastgraph import hop_diameter
 from repro.trees.lca import LCAIndex
 from repro.trees.rooted import RootedTree
 
-from fractions import Fraction
-
 Edge = tuple[Hashable, Hashable]
 
-__all__ = ["ThreeEcssIterationStats", "unweighted_two_ecss_2approx", "three_ecss"]
+__all__ = [
+    "ThreeEcssIterationStats",
+    "unweighted_two_ecss_2approx",
+    "three_ecss",
+    "three_ecss_nx",
+]
 
 
 @dataclass(frozen=True)
@@ -106,6 +121,59 @@ def unweighted_two_ecss_2approx(
     return chosen, tree, ledger
 
 
+def _setup(
+    graph: nx.Graph,
+    seed: int | random.Random | None,
+    simulate_bfs: bool,
+) -> tuple[random.Random, CostModel, RoundLedger, set[Edge], RootedTree, LCAIndex]:
+    """Shared preamble of both 3-ECSS implementations (validation + ``H``)."""
+    if not is_k_edge_connected(graph, 3):
+        raise ValueError("the input graph is not 3-edge-connected; 3-ECSS is infeasible")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    n = graph.number_of_nodes()
+    cost_model = CostModel(n=n, diameter=hop_diameter(graph))
+    ledger = RoundLedger()
+
+    if simulate_bfs:
+        from repro.congest.primitives import simulate_bfs_tree
+
+        _, report = simulate_bfs_tree(graph)
+        ledger.add_report(report)
+
+    h_edges, tree, h_ledger = unweighted_two_ecss_2approx(graph, cost_model=cost_model)
+    ledger.extend(h_ledger)
+    return rng, cost_model, ledger, h_edges, tree, LCAIndex(tree)
+
+
+def _result(
+    graph: nx.Graph,
+    h_edges: set[Edge],
+    added: set[Edge],
+    history: list[ThreeEcssIterationStats],
+    mode: str,
+    cost_model: CostModel,
+    ledger: RoundLedger,
+    iteration: int,
+) -> ECSSResult:
+    metadata = {
+        "h_size": len(h_edges),
+        "augmentation_size": len(added),
+        "iterations_history": history,
+        "diameter": cost_model.diameter,
+        "round_bound": cost_model.three_ecss_round_bound(),
+        "label_mode": mode,
+    }
+    return ECSSResult.from_edges(
+        k=3,
+        graph=graph,
+        edges=h_edges | added,
+        ledger=ledger,
+        iterations=iteration,
+        algorithm="dory-3ecss",
+        metadata=metadata,
+    )
+
+
 def three_ecss(
     graph: nx.Graph,
     seed: int | random.Random | None = None,
@@ -114,7 +182,7 @@ def three_ecss(
     schedule_constant: int = 2,
     simulate_bfs: bool = False,
 ) -> ECSSResult:
-    """Unweighted 3-ECSS (Theorem 1.3).
+    """Unweighted 3-ECSS (Theorem 1.3), scored by the flat-array kernel.
 
     Args:
         graph: A 3-edge-connected graph (weights, if any, are ignored --
@@ -128,45 +196,24 @@ def three_ecss(
 
     Returns:
         An :class:`ECSSResult` with ``k = 3``; the weight equals the number of
-        edges because the problem is unweighted.
+        edges because the problem is unweighted.  Bit-identical to
+        :func:`three_ecss_nx` for the same arguments.
     """
-    if not is_k_edge_connected(graph, 3):
-        raise ValueError("the input graph is not 3-edge-connected; 3-ECSS is infeasible")
-    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
-    n = graph.number_of_nodes()
-    diameter = hop_diameter(graph)
-    cost_model = CostModel(n=n, diameter=diameter)
-    ledger = RoundLedger()
-
-    if simulate_bfs:
-        from repro.congest.primitives import simulate_bfs_tree
-
-        _, report = simulate_bfs_tree(graph)
-        ledger.add_report(report)
-
-    h_edges, tree, h_ledger = unweighted_two_ecss_2approx(graph, cost_model=cost_model)
-    ledger.extend(h_ledger)
-    lca = LCAIndex(tree)
-    tree_edge_set = set(tree.tree_edges())
-
-    # Pre-compute the tree path of every potential candidate edge.
-    candidate_paths: dict[Edge, list[Edge]] = {}
-    for u, v in graph.edges():
-        edge = canonical_edge(u, v)
-        if edge in h_edges:
-            continue
-        candidate_paths[edge] = [canonical_edge(a, b) for a, b in lca.tree_path_edges(u, v)]
+    rng, cost_model, ledger, h_edges, tree, lca = _setup(graph, seed, simulate_bfs)
+    kernel = PathLabelKernel(graph, lca, skip=h_edges)
+    cand_repr = kernel.cand_repr
 
     added: set[Edge] = set()
     history: list[ThreeEcssIterationStats] = []
     mode = "exact" if exact_labels else "random"
 
-    probability = 1.0 / (2 ** max(1, math.ceil(math.log2(max(graph.number_of_edges(), 2)))))
-    phase_length = max(1, schedule_constant * cost_model.log_n)
-    phase_counter = 0
+    schedule = GuessingSchedule(
+        graph.number_of_edges(), max(1, schedule_constant * cost_model.log_n)
+    )
     previous_max: Fraction | None = None
     previous_probability_was_one = False
 
+    n = graph.number_of_nodes()
     max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
     iteration = 0
     while True:
@@ -185,43 +232,176 @@ def three_ecss(
             note=f"iteration {iteration} (labels + cost-effectiveness, O(D))",
         )
 
-        n_phi = Counter(labelling.labels.values())
-        tree_in_pairs = sum(
-            1 for t in tree_edge_set if n_phi[labelling.labels[t]] > 1
-        )
+        tree_in_pairs, cand_ids, values, max_value = kernel.score_round(labelling.labels)
         if tree_in_pairs == 0:
             history.append(
                 ThreeEcssIterationStats(
                     iteration=iteration,
-                    probability=probability,
+                    probability=schedule.probability,
                     candidates=0,
                     added=0,
                     tree_edges_in_cut_pairs=0,
                 )
             )
             break
-
-        # Claim 5.8: cost-effectiveness of e is sum over labels on its path of
-        # n_{phi,e} * (n_phi - n_{phi,e}).
-        effectiveness: dict[Edge, int] = {}
-        for edge, path in candidate_paths.items():
-            if edge in added:
-                continue
-            on_path = Counter(labelling.labels[t] for t in path)
-            value = sum(
-                count * (n_phi[label] - count) for label, count in on_path.items()
-            )
-            if value > 0:
-                effectiveness[edge] = value
-        if not effectiveness:
+        if not cand_ids:
             raise RuntimeError(
                 "no remaining edge covers the remaining cut pairs; "
                 "the input graph is not 3-edge-connected"
             )
 
-        computed_max = max(
-            round_up_to_power_of_two(Fraction(value)) for value in effectiveness.values()
+        # rho~ = 2^bit_length(value), the smallest power of two strictly
+        # greater than the integer Claim 5.8 value -- kept as a Fraction so
+        # the Lemma 5.11 halving below stays exact.
+        computed_max = Fraction(1 << max_value.bit_length())
+        # Lemma 5.11's robustness tweak: the maximum rounded cost-effectiveness
+        # is forced to be non-increasing, and to halve after a p = 1 iteration.
+        maximum = computed_max
+        if previous_max is not None:
+            maximum = min(maximum, previous_max)
+            if previous_probability_was_one:
+                maximum = min(maximum, previous_max / 2)
+        candidate_ids = sorted(
+            (
+                j
+                for j, value in zip(cand_ids, values)
+                if (1 << value.bit_length()) >= maximum
+            ),
+            key=cand_repr.__getitem__,
         )
+
+        probability = schedule.update(maximum)
+        previous_max = maximum
+        previous_probability_was_one = probability >= 1.0
+
+        if probability >= 1.0:
+            active_ids = list(candidate_ids)
+        else:
+            active_ids = [j for j in candidate_ids if rng.random() < probability]
+        kernel.mark_added(active_ids)
+        added.update(kernel.cand_edges[j] for j in active_ids)
+
+        history.append(
+            ThreeEcssIterationStats(
+                iteration=iteration,
+                probability=probability,
+                candidates=len(candidate_ids),
+                added=len(active_ids),
+                tree_edges_in_cut_pairs=tree_in_pairs,
+            )
+        )
+
+    return _result(graph, h_edges, added, history, mode, cost_model, ledger, iteration)
+
+
+def _score_round_nx(
+    labels: dict[Edge, object],
+    tree_edge_set: set[Edge],
+    candidate_paths: dict[Edge, list[Edge]],
+    added: set[Edge],
+) -> tuple[int, dict[Edge, Fraction]]:
+    """One iteration of the historical Claim 5.8 scoring (the oracle inner loop).
+
+    Returns ``(tree_in_pairs, rounded)`` where *rounded* maps each candidate
+    with positive cost-effectiveness to its rounded value ``rho~`` -- computed
+    once per candidate and reused for both the maximum and the candidate
+    filter.
+    """
+    n_phi = Counter(labels.values())
+    tree_in_pairs = sum(1 for t in tree_edge_set if n_phi[labels[t]] > 1)
+    if tree_in_pairs == 0:
+        return 0, {}
+
+    # Claim 5.8: cost-effectiveness of e is sum over labels on its path of
+    # n_{phi,e} * (n_phi - n_{phi,e}).
+    rounded: dict[Edge, Fraction] = {}
+    for edge, path in candidate_paths.items():
+        if edge in added:
+            continue
+        on_path = Counter(labels[t] for t in path)
+        value = sum(
+            count * (n_phi[label] - count) for label, count in on_path.items()
+        )
+        if value > 0:
+            rounded[edge] = round_up_to_power_of_two(Fraction(value))
+    return tree_in_pairs, rounded
+
+
+def three_ecss_nx(
+    graph: nx.Graph,
+    seed: int | random.Random | None = None,
+    label_bits: int | None = None,
+    exact_labels: bool = False,
+    schedule_constant: int = 2,
+    simulate_bfs: bool = False,
+) -> ECSSResult:
+    """Historical set/``Counter`` 3-ECSS, retained as the differential oracle.
+
+    Same arguments and bit-identical output as :func:`three_ecss`; every
+    iteration rebuilds label counts with :class:`collections.Counter` per
+    candidate path and compares exact :class:`~fractions.Fraction` values.
+    """
+    rng, cost_model, ledger, h_edges, tree, lca = _setup(graph, seed, simulate_bfs)
+    tree_edge_set = set(tree.tree_edges())
+
+    # Pre-compute the tree path of every potential candidate edge.
+    candidate_paths: dict[Edge, list[Edge]] = {}
+    for u, v in graph.edges():
+        edge = canonical_edge(u, v)
+        if edge in h_edges:
+            continue
+        candidate_paths[edge] = [canonical_edge(a, b) for a, b in lca.tree_path_edges(u, v)]
+
+    added: set[Edge] = set()
+    history: list[ThreeEcssIterationStats] = []
+    mode = "exact" if exact_labels else "random"
+
+    schedule = GuessingSchedule(
+        graph.number_of_edges(), max(1, schedule_constant * cost_model.log_n)
+    )
+    previous_max: Fraction | None = None
+    previous_probability_was_one = False
+
+    n = graph.number_of_nodes()
+    max_iterations = 16 * schedule_constant * cost_model.log_n ** 3 + 8 * n + 64
+    iteration = 0
+    while True:
+        iteration += 1
+        if iteration > max_iterations:
+            raise RuntimeError(f"3-ECSS did not converge within {max_iterations} iterations")
+
+        current = nx.Graph()
+        current.add_nodes_from(graph.nodes())
+        current.add_edges_from(h_edges | added)
+        labelling = compute_labels(current, tree=tree, bits=label_bits, mode=mode,
+                                   seed=rng, lca=lca)
+        ledger.add(
+            "3ecss-iteration",
+            cost_model.three_ecss_iteration_rounds(),
+            note=f"iteration {iteration} (labels + cost-effectiveness, O(D))",
+        )
+
+        tree_in_pairs, rounded = _score_round_nx(
+            labelling.labels, tree_edge_set, candidate_paths, added
+        )
+        if tree_in_pairs == 0:
+            history.append(
+                ThreeEcssIterationStats(
+                    iteration=iteration,
+                    probability=schedule.probability,
+                    candidates=0,
+                    added=0,
+                    tree_edges_in_cut_pairs=0,
+                )
+            )
+            break
+        if not rounded:
+            raise RuntimeError(
+                "no remaining edge covers the remaining cut pairs; "
+                "the input graph is not 3-edge-connected"
+            )
+
+        computed_max = max(rounded.values())
         # Lemma 5.11's robustness tweak: the maximum rounded cost-effectiveness
         # is forced to be non-increasing, and to halve after a p = 1 iteration.
         maximum = computed_max
@@ -230,23 +410,11 @@ def three_ecss(
             if previous_probability_was_one:
                 maximum = min(maximum, previous_max / 2)
         candidates = sorted(
-            (
-                edge
-                for edge, value in effectiveness.items()
-                if round_up_to_power_of_two(Fraction(value)) >= maximum
-            ),
+            (edge for edge, value in rounded.items() if value >= maximum),
             key=repr,
         )
 
-        if maximum != previous_max:
-            probability = 1.0 / (
-                2 ** max(1, math.ceil(math.log2(max(graph.number_of_edges(), 2))))
-            )
-            phase_counter = 0
-        elif phase_counter >= phase_length and probability < 1.0:
-            probability = min(1.0, probability * 2)
-            phase_counter = 0
-        phase_counter += 1
+        probability = schedule.update(maximum)
         previous_max = maximum
         previous_probability_was_one = probability >= 1.0
 
@@ -266,22 +434,4 @@ def three_ecss(
             )
         )
 
-    edges = h_edges | added
-    metadata = {
-        "h_size": len(h_edges),
-        "augmentation_size": len(added),
-        "iterations_history": history,
-        "diameter": diameter,
-        "round_bound": cost_model.three_ecss_round_bound(),
-        "label_mode": mode,
-    }
-    result = ECSSResult.from_edges(
-        k=3,
-        graph=graph,
-        edges=edges,
-        ledger=ledger,
-        iterations=iteration,
-        algorithm="dory-3ecss",
-        metadata=metadata,
-    )
-    return result
+    return _result(graph, h_edges, added, history, mode, cost_model, ledger, iteration)

@@ -1,0 +1,346 @@
+"""The flat-array solver kernels: unit tests and differential sweeps.
+
+Three layers:
+
+* direct unit tests of :class:`repro.core.fastaug.GuessingSchedule` -- the
+  Section 4 probability schedule shared by ``Aug_k`` and the 3-ECSS loop:
+  doubling cadence, reset on maximum drop, the frozen phase counter at
+  ``p = 1``, and a fixed-seed lock of the probabilities a full solver run
+  produces;
+* direct unit tests of :class:`repro.core.fastaug.PathLabelKernel` and
+  :class:`repro.core.fastaug.BitsetCoverKernel` -- CSR path parity with
+  ``LCAIndex.tree_path_edges``, Claim 5.8 scores vs the ``Counter`` oracle,
+  packed cover masks vs the frozenset relation, and the incremental live
+  counters vs recomputation;
+* the seeded ``diff-3ecss-kernel`` / ``diff-kecss-kernel`` differential
+  sweep, wired through the experiment engine: 50 instances of **every**
+  registered generator family per solver, each asserting bit-identical
+  output (added-edge sets, weights, iteration counts, histories) against
+  the retained ``three_ecss_nx`` / ``k_ecss_nx`` oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+
+from repro.analysis.differential import solver_kernel_jobs
+from repro.analysis.engine import ExperimentEngine
+from repro.analysis.runner import trial_groups
+from repro.core.cost_effectiveness import (
+    INFINITE_EFFECTIVENESS,
+    rounded_cost_effectiveness,
+)
+from repro.core.fastaug import (
+    BitsetCoverKernel,
+    GuessingSchedule,
+    PathLabelKernel,
+    probability_schedule_start,
+    rounded_exponent,
+)
+from repro.core.k_ecss import augment_to_k, augment_to_k_nx
+from repro.core.three_ecss import (
+    _score_round_nx,
+    three_ecss,
+    unweighted_two_ecss_2approx,
+)
+from repro.cycle_space.labels import compute_labels
+from repro.graphs.connectivity import canonical_edge
+from repro.graphs.cuts import enumerate_cuts_of_size
+from repro.graphs.generators import FAMILIES, random_k_edge_connected_graph
+from repro.mst.sequential import minimum_spanning_tree
+from repro.trees.lca import LCAIndex
+
+N_GRAPHS = 50
+SWEEP_BACKEND = "threads"
+SWEEP_WORKERS = 4
+
+
+# ------------------------------------------------------------ GuessingSchedule
+class TestGuessingSchedule:
+    def test_start_probability(self):
+        assert probability_schedule_start(64) == 1 / 64
+        assert probability_schedule_start(65) == 1 / 128
+        assert probability_schedule_start(1) == 1 / 2
+        schedule = GuessingSchedule(64, phase_length=3)
+        assert schedule.probability == 1 / 64
+
+    def test_doubles_every_phase_length_while_maximum_constant(self):
+        schedule = GuessingSchedule(64, phase_length=2)
+        probabilities = [schedule.update(Fraction(8)) for _ in range(7)]
+        assert probabilities == [
+            1 / 64, 1 / 64, 1 / 32, 1 / 32, 1 / 16, 1 / 16, 1 / 8,
+        ]
+
+    def test_resets_on_maximum_drop(self):
+        schedule = GuessingSchedule(64, phase_length=1)
+        for _ in range(5):
+            schedule.update(Fraction(8))
+        assert schedule.probability > 1 / 64
+        assert schedule.update(Fraction(4)) == 1 / 64
+        assert schedule.phase_counter == 1
+
+    def test_phase_counter_freezes_at_probability_one(self):
+        schedule = GuessingSchedule(4, phase_length=1)
+        probabilities = [schedule.update(Fraction(8)) for _ in range(10)]
+        assert probabilities[:3] == [1 / 4, 1 / 2, 1.0]
+        assert all(p == 1.0 for p in probabilities[2:])
+        # The counter is only ever read while p < 1 and a maximum drop resets
+        # it, so it stays frozen instead of growing without bound.
+        assert schedule.phase_counter == 0
+        assert schedule.update(Fraction(4)) == 1 / 4
+        assert schedule.phase_counter == 1
+
+    def test_matches_reference_replay_on_random_maxima(self):
+        # The paper's schedule, replayed naively: reset on change, double
+        # every phase_length iterations below p = 1.
+        rng = random.Random(11)
+        maximum = 1 << 12
+        for phase_length in (1, 2, 5):
+            schedule = GuessingSchedule(100, phase_length=phase_length)
+            probability = probability_schedule_start(100)
+            previous = None
+            counter = 0
+            for _ in range(200):
+                if rng.random() < 0.15 and maximum > 1:
+                    maximum //= 2
+                if maximum != previous:
+                    probability = probability_schedule_start(100)
+                    counter = 0
+                elif counter >= phase_length and probability < 1.0:
+                    probability = min(1.0, probability * 2)
+                    counter = 0
+                counter += 1
+                previous = maximum
+                assert schedule.update(maximum) == probability
+
+    def test_fixed_seed_solver_probabilities_locked(self):
+        # Lock the full 3-ECSS schedule behaviour on one pinned instance:
+        # any change to the reset / doubling / halving rules shifts these.
+        graph = random_k_edge_connected_graph(
+            14, 3, extra_edge_prob=0.3, weight_range=None, seed=7
+        )
+        result = three_ecss(graph, seed=7)
+        history = result.metadata["iterations_history"]
+        probabilities = [record.probability for record in history]
+        # m = 37 edges -> p starts at 1/64 and doubles every 2 log2(n) = 8
+        # iterations; the first additions (iterations 19 and 27) drop the
+        # maximum at iteration 28, restarting the schedule from 1/64.
+        assert result.iterations == 39
+        assert probabilities == (
+            [1 / 64] * 8 + [1 / 32] * 8 + [1 / 16] * 8 + [1 / 8] * 3
+            + [1 / 64] * 8 + [1 / 32] * 4
+        )
+        assert [record.added for record in history if record.added] == [1, 2, 1]
+        assert history[-1].tree_edges_in_cut_pairs == 0
+        exact = three_ecss(graph, seed=7, exact_labels=True)
+        assert exact.iterations == 42
+
+
+# ------------------------------------------------------------- PathLabelKernel
+def _three_ecss_state(n: int, seed: int):
+    graph = random_k_edge_connected_graph(
+        n, 3, extra_edge_prob=0.3, weight_range=None, seed=seed
+    )
+    h_edges, tree, _ = unweighted_two_ecss_2approx(graph)
+    lca = LCAIndex(tree)
+    return graph, h_edges, tree, lca
+
+
+class TestPathLabelKernel:
+    def test_candidate_paths_match_lca_index(self):
+        graph, h_edges, _, lca = _three_ecss_state(16, 0)
+        kernel = PathLabelKernel(graph, lca, skip=h_edges)
+        assert kernel.m_candidates == len(
+            [e for u, v in graph.edges() if (e := canonical_edge(u, v)) not in h_edges]
+        )
+        for j, (u, v) in enumerate(kernel.cand_edges):
+            expected = [canonical_edge(a, b) for a, b in lca.tree_path_edges(u, v)]
+            materialised = [lca.parent_edges[vid] for vid in kernel.path_indices(j)]
+            assert materialised == expected
+
+    def test_score_round_matches_counter_oracle(self):
+        for seed in range(4):
+            graph, h_edges, tree, lca = _three_ecss_state(14, seed)
+            kernel = PathLabelKernel(graph, lca, skip=h_edges)
+            tree_edge_set = set(tree.tree_edges())
+            candidate_paths = {
+                edge: [canonical_edge(a, b) for a, b in lca.tree_path_edges(*edge)]
+                for edge in kernel.cand_edges
+            }
+            current = nx.Graph()
+            current.add_nodes_from(graph.nodes())
+            current.add_edges_from(h_edges)
+            for mode in ("random", "exact"):
+                labelling = compute_labels(
+                    current, tree=tree, mode=mode, seed=seed, lca=lca
+                )
+                pairs, cand_ids, values, max_value = kernel.score_round(
+                    labelling.labels
+                )
+                oracle_pairs, rounded = _score_round_nx(
+                    labelling.labels, tree_edge_set, candidate_paths, set()
+                )
+                assert pairs == oracle_pairs
+                fast_rounded = {
+                    kernel.cand_edges[j]: Fraction(1 << value.bit_length())
+                    for j, value in zip(cand_ids, values)
+                }
+                assert fast_rounded == rounded
+                if values:
+                    assert Fraction(1 << max_value.bit_length()) == max(
+                        rounded.values()
+                    )
+
+    def test_mark_added_skips_candidates(self):
+        graph, h_edges, tree, lca = _three_ecss_state(14, 1)
+        kernel = PathLabelKernel(graph, lca, skip=h_edges)
+        current = nx.Graph()
+        current.add_nodes_from(graph.nodes())
+        current.add_edges_from(h_edges)
+        labelling = compute_labels(current, tree=tree, mode="exact", lca=lca)
+        _, before_ids, _, _ = kernel.score_round(labelling.labels)
+        assert before_ids
+        kernel.mark_added(before_ids[:1])
+        _, after_ids, _, _ = kernel.score_round(labelling.labels)
+        assert before_ids[0] not in after_ids
+        assert set(after_ids) == set(before_ids[1:])
+
+    def test_termination_when_every_label_unique(self):
+        graph, h_edges, _, lca = _three_ecss_state(12, 2)
+        kernel = PathLabelKernel(graph, lca, skip=h_edges)
+        labels = {
+            canonical_edge(u, v): index
+            for index, (u, v) in enumerate(graph.edges())
+        }
+        pairs, cand_ids, values, max_value = kernel.score_round(labels)
+        assert (pairs, cand_ids, values, max_value) == (0, [], [], 0)
+
+
+# ------------------------------------------------------------ BitsetCoverKernel
+def _aug_level_state(n: int, seed: int, k: int = 2):
+    graph = random_k_edge_connected_graph(n, k, extra_edge_prob=0.35, seed=seed)
+    base = frozenset(
+        canonical_edge(u, v) for u, v in minimum_spanning_tree(graph).edges()
+    )
+    subgraph = nx.Graph()
+    subgraph.add_nodes_from(graph.nodes())
+    subgraph.add_edges_from(base)
+    cuts = enumerate_cuts_of_size(subgraph, k - 1, seed=seed)
+    pool = [
+        canonical_edge(u, v)
+        for u, v in graph.edges()
+        if canonical_edge(u, v) not in base
+    ]
+    weights = [graph[u][v].get("weight", 1) for u, v in pool]
+    covers = [
+        [i for i, cut in enumerate(cuts) if (u in cut.side) != (v in cut.side)]
+        for u, v in pool
+    ]
+    kernel = BitsetCoverKernel(pool, weights, covers, len(cuts))
+    return graph, pool, weights, covers, cuts, kernel
+
+
+class TestBitsetCoverKernel:
+    def test_masks_match_frozenset_covers(self):
+        _, pool, _, covers, cuts, kernel = _aug_level_state(16, 0)
+        assert kernel.n_cuts == len(cuts)
+        for j in range(len(pool)):
+            assert kernel.covers_of(j) == sorted(covers[j])
+            assert kernel.live[j] == len(covers[j])
+
+    def test_transpose_matches_membership(self):
+        _, pool, _, covers, cuts, kernel = _aug_level_state(14, 1)
+        for c in range(len(cuts)):
+            expected = [j for j in range(len(pool)) if c in set(covers[j])]
+            listed = sorted(
+                kernel.cut_cover[kernel.cut_indptr[c]:kernel.cut_indptr[c + 1]]
+            )
+            assert listed == expected
+
+    def test_incremental_live_counters_match_recompute(self):
+        _, pool, _, covers, _, kernel = _aug_level_state(18, 2)
+        rng = random.Random(2)
+        ids = list(range(len(pool)))
+        rng.shuffle(ids)
+        uncovered = set(range(kernel.n_cuts))
+        for j in ids[: len(pool) // 2]:
+            flipped = kernel.add_many([j])
+            newly = set(covers[j]) & uncovered
+            assert flipped == len(newly)
+            uncovered -= newly
+            assert kernel.uncovered_count == len(uncovered)
+            for probe in range(len(pool)):
+                assert kernel.live[probe] == len(set(covers[probe]) & uncovered)
+
+    def test_add_many_is_idempotent(self):
+        _, pool, _, _, _, kernel = _aug_level_state(12, 3)
+        first = kernel.add_many(range(len(pool)))
+        assert first == kernel.n_cuts
+        assert kernel.all_covered
+        assert kernel.add_many(range(len(pool))) == 0
+        assert kernel.uncovered_count == 0
+
+    def test_score_matches_fraction_oracle(self):
+        graph, pool, weights, covers, _, kernel = _aug_level_state(16, 4)
+        free = 0
+        kernel.weights[free] = 0
+        cand_ids, exponents, maximum = kernel.score()
+        uncovered = set(range(kernel.n_cuts))
+        for j, exponent in zip(cand_ids, exponents):
+            live = len(set(covers[j]) & uncovered)
+            oracle = rounded_cost_effectiveness(
+                live, kernel.weights[j]
+            )
+            if exponent is INFINITE_EFFECTIVENESS:
+                assert oracle is INFINITE_EFFECTIVENESS
+            else:
+                assert Fraction(2) ** exponent == oracle
+        assert free in cand_ids or not covers[free]
+        if covers[free]:
+            assert maximum is INFINITE_EFFECTIVENESS
+
+    def test_rounded_exponent_matches_reference(self):
+        for uncovered in range(1, 40):
+            for weight in range(1, 40):
+                expected = rounded_cost_effectiveness(uncovered, weight)
+                assert Fraction(2) ** rounded_exponent(uncovered, weight) == expected
+
+    def test_level_parity_with_oracle(self):
+        for seed in range(4):
+            graph, *_ = _aug_level_state(14, seed)
+            base = frozenset(
+                canonical_edge(u, v)
+                for u, v in minimum_spanning_tree(graph).edges()
+            )
+            fast = augment_to_k(graph, base, 2, seed=seed, cut_seed=seed)
+            oracle = augment_to_k_nx(graph, base, 2, seed=seed, cut_seed=seed)
+            assert fast.added == oracle.added
+            assert fast.weight == oracle.weight
+            assert fast.iterations == oracle.iterations
+            assert fast.metadata["history"] == oracle.metadata["history"]
+
+
+# ------------------------------------------------- engine-driven differential
+def _run_sweep(name: str, jobs) -> list:
+    engine = ExperimentEngine(workers=SWEEP_WORKERS, backend=SWEEP_BACKEND)
+    results = engine.run_jobs(name, jobs)
+    # Any parity violation raises inside the trial; trial_groups re-raises it
+    # here with the offending (family, seed) pair and traceback attached.
+    trial_groups(results, key=lambda r: r.config["family"])
+    return results
+
+
+class TestSolverKernelDifferentialSweep:
+    """>= 50 seeded graphs per generator family, per ported solver loop."""
+
+    @pytest.mark.parametrize("name", sorted(solver_kernel_jobs(1)))
+    def test_parity_with_reference_implementations(self, name):
+        jobs = solver_kernel_jobs(N_GRAPHS)[name]
+        results = _run_sweep(name, jobs)
+        assert len(results) == N_GRAPHS * len(FAMILIES)
+        assert {r.config["family"] for r in results} == set(FAMILIES)
+        assert all(r.ok for r in results)

@@ -18,6 +18,12 @@ Guards in the default test run:
   the hot loop of every E1/E2/E3/E9 trial) is at least 3x faster than the
   historical set-algebra implementation on an n >= 256 instance, with a
   stricter n = 400 variant behind the ``slow`` marker;
+* the 3-ECSS path-label scoring kernel (the Claim 5.8 inner loop of every
+  E5/E7 trial) and the k-ECSS bitset coverage kernel (the per-iteration
+  recompute of every E4/E8/E10 trial) are each at least 3x faster than the
+  retained ``Counter``/frozenset oracle loops on n >= 256 instances --
+  asserting value-identical scores first, so the guards double as one more
+  parity check -- with stricter n = 400 variants behind the ``slow`` marker;
 * ``kecss bench --dry-run`` emits baseline JSON that passes the published
   schema check (and a written baseline round-trips through it);
 * ``kecss bench e3 --against BENCH_e3.json`` and ``kecss bench e9 --against
@@ -34,6 +40,7 @@ from __future__ import annotations
 
 import json
 import time
+from fractions import Fraction
 from pathlib import Path
 
 import networkx as nx
@@ -47,17 +54,28 @@ from repro.analysis.experiments import (
 )
 from repro.cli import main as kecss_main
 from repro.congest.cost_model import CostModel
+from repro.core.cost_effectiveness import INFINITE_EFFECTIVENESS
+from repro.core.fastaug import BitsetCoverKernel, PathLabelKernel
+from repro.core.k_ecss import _recompute_effectiveness_nx
+from repro.core.three_ecss import _score_round_nx, unweighted_two_ecss_2approx
+from repro.cycle_space.labels import compute_labels
 from repro.graphs.connectivity import (
     bridges,
     bridges_nx,
+    canonical_edge,
     edge_connectivity_nx,
     is_k_edge_connected,
 )
-from repro.graphs.cuts import enumerate_cut_pairs, enumerate_cut_pairs_nx
+from repro.graphs.cuts import (
+    enumerate_cut_pairs,
+    enumerate_cut_pairs_nx,
+    enumerate_cuts_of_size,
+)
 from repro.graphs.fastgraph import hop_diameter
 from repro.graphs.generators import clique_chain, random_k_edge_connected_graph
 from repro.mst.sequential import minimum_spanning_tree
 from repro.tap.distributed import distributed_tap, distributed_tap_nx
+from repro.trees.lca import LCAIndex
 from repro.trees.rooted import RootedTree
 
 # Generous ceiling: the smoke-mode sweep takes well under a second locally;
@@ -70,6 +88,12 @@ FASTGRAPH_MIN_SPEEDUP = 3.0
 #: Acceptance bar for the flat-array TAP stage at n >= 256 (measured ~7-9x
 #: locally against the set-algebra implementation; 3x leaves CI headroom).
 TAP_MIN_SPEEDUP = 3.0
+#: Acceptance bar for the 3-ECSS path-label scoring kernel at n >= 256
+#: against the Counter-per-candidate oracle loop; 3x leaves CI headroom.
+THREE_ECSS_MIN_SPEEDUP = 3.0
+#: Acceptance bar for the k-ECSS bitset coverage kernel at n >= 256 against
+#: the frozenset-intersection recompute; 3x leaves CI headroom.
+KECSS_MIN_SPEEDUP = 3.0
 
 
 def _run_e1_e4(engine):
@@ -227,6 +251,148 @@ def test_tap_stage_speedup_at_n400():
     )
 
 
+# ------------------------------------------- solver inner-loop kernel guards
+def _three_ecss_scoring_speedup(n: int, seed: int) -> float:
+    """Path-label kernel vs the Counter oracle on one E5-style iteration.
+
+    Times exactly the inner loop the kernel replaced -- the Claim 5.8 scoring
+    of every candidate under one labelling -- after asserting both sides
+    produce identical rounded cost-effectiveness maps.  The shared per-
+    iteration costs (graph rebuild, ``compute_labels``) are outside the
+    timers on both sides.
+    """
+    graph = random_k_edge_connected_graph(
+        n, 3, extra_edge_prob=3.0 / n, weight_range=None, seed=seed
+    )
+    h_edges, tree, _ = unweighted_two_ecss_2approx(graph)
+    lca = LCAIndex(tree)
+    kernel = PathLabelKernel(graph, lca, skip=h_edges)
+    tree_edge_set = set(tree.tree_edges())
+    candidate_paths = {
+        edge: [canonical_edge(a, b) for a, b in lca.tree_path_edges(*edge)]
+        for edge in kernel.cand_edges
+    }
+    current = nx.Graph()
+    current.add_nodes_from(graph.nodes())
+    current.add_edges_from(h_edges)
+    labels = compute_labels(current, tree=tree, seed=seed, lca=lca).labels
+
+    pairs, cand_ids, values, _ = kernel.score_round(labels)
+    oracle_pairs, rounded = _score_round_nx(
+        labels, tree_edge_set, candidate_paths, set()
+    )
+    assert pairs == oracle_pairs > 0
+    assert {
+        kernel.cand_edges[j]: Fraction(1 << value.bit_length())
+        for j, value in zip(cand_ids, values)
+    } == rounded
+
+    fast = _best_of(lambda: kernel.score_round(labels))
+    oracle = _best_of(
+        lambda: _score_round_nx(labels, tree_edge_set, candidate_paths, set())
+    )
+    return oracle / fast
+
+
+def test_three_ecss_scoring_speedup_at_n256():
+    """The 3-ECSS kernel acceptance bar: >= 3x on the E5 family at n >= 256."""
+    speedup = _three_ecss_scoring_speedup(256, seed=3)
+    print(f"\n3-ECSS path-label scoring (n=256): {speedup:.1f}x")
+    assert speedup >= THREE_ECSS_MIN_SPEEDUP, (
+        f"3-ECSS scoring kernel only {speedup:.1f}x faster than the Counter "
+        f"oracle at n=256 (bar: {THREE_ECSS_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.slow
+def test_three_ecss_scoring_speedup_at_n400():
+    """Stricter variant at the size targeted by paper-scale E5 sweeps."""
+    speedup = _three_ecss_scoring_speedup(400, seed=5)
+    print(f"\n3-ECSS path-label scoring (n=400): {speedup:.1f}x")
+    assert speedup >= THREE_ECSS_MIN_SPEEDUP, (
+        f"3-ECSS scoring kernel only {speedup:.1f}x at n=400 "
+        f"(bar: {THREE_ECSS_MIN_SPEEDUP}x)"
+    )
+
+
+def _kecss_coverage_speedup(n: int, seed: int) -> float:
+    """Bitset coverage kernel vs the frozenset recompute on one Aug_2 level.
+
+    Reproduces a mid-run iteration: every fourth candidate has already
+    joined ``A`` (so part of the cut set is covered), then both sides
+    recompute the rounded cost-effectiveness of every remaining candidate.
+    Scores are asserted value-identical before timing.
+    """
+    graph = random_k_edge_connected_graph(n, 2, extra_edge_prob=3.0 / n, seed=seed)
+    base = frozenset(
+        canonical_edge(u, v) for u, v in minimum_spanning_tree(graph).edges()
+    )
+    subgraph = nx.Graph()
+    subgraph.add_nodes_from(graph.nodes())
+    subgraph.add_edges_from(base)
+    cuts = enumerate_cuts_of_size(subgraph, 1, seed=seed)
+    pool = [
+        canonical_edge(u, v)
+        for u, v in graph.edges()
+        if canonical_edge(u, v) not in base
+    ]
+    weight_of = {edge: graph[edge[0]][edge[1]].get("weight", 1) for edge in pool}
+    covers = {
+        edge: frozenset(
+            index
+            for index, cut in enumerate(cuts)
+            if (edge[0] in cut.side) != (edge[1] in cut.side)
+        )
+        for edge in pool
+    }
+    kernel = BitsetCoverKernel(
+        pool, [weight_of[edge] for edge in pool],
+        [sorted(covers[edge]) for edge in pool], len(cuts),
+    )
+    added = set(pool[::4])
+    kernel.add_many(range(0, len(pool), 4))
+    uncovered = set(range(len(cuts)))
+    for edge in added:
+        uncovered -= covers[edge]
+    assert kernel.uncovered_count == len(uncovered) > 0
+
+    cand_ids, exponents, _ = kernel.score()
+    reference = _recompute_effectiveness_nx(pool, added, covers, uncovered, weight_of)
+    assert {
+        pool[j]: exponent
+        if exponent is INFINITE_EFFECTIVENESS
+        else Fraction(2) ** exponent
+        for j, exponent in zip(cand_ids, exponents)
+    } == reference
+
+    fast = _best_of(kernel.score)
+    oracle = _best_of(
+        lambda: _recompute_effectiveness_nx(pool, added, covers, uncovered, weight_of)
+    )
+    return oracle / fast
+
+
+def test_kecss_coverage_speedup_at_n256():
+    """The k-ECSS kernel acceptance bar: >= 3x on the E4 family at n >= 256."""
+    speedup = _kecss_coverage_speedup(256, seed=3)
+    print(f"\nk-ECSS bitset coverage (n=256): {speedup:.1f}x")
+    assert speedup >= KECSS_MIN_SPEEDUP, (
+        f"k-ECSS coverage kernel only {speedup:.1f}x faster than the frozenset "
+        f"recompute at n=256 (bar: {KECSS_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.slow
+def test_kecss_coverage_speedup_at_n400():
+    """Stricter variant at the size targeted by paper-scale E4 sweeps."""
+    speedup = _kecss_coverage_speedup(400, seed=5)
+    print(f"\nk-ECSS bitset coverage (n=400): {speedup:.1f}x")
+    assert speedup >= KECSS_MIN_SPEEDUP, (
+        f"k-ECSS coverage kernel only {speedup:.1f}x at n=400 "
+        f"(bar: {KECSS_MIN_SPEEDUP}x)"
+    )
+
+
 # ------------------------------------------------------ bench baseline schema
 def test_bench_dry_run_emits_schema_valid_baseline_json(capsys):
     """``kecss bench e7 --dry-run`` prints a baseline passing the schema check."""
@@ -265,6 +431,22 @@ def test_bench_against_committed_e9_baseline(capsys):
     exit_code = kecss_main(["bench", "e9", "--against", str(baseline)])
     out = capsys.readouterr().out
     assert exit_code == 0, f"E9 aggregates drifted from the committed baseline:\n{out}"
+    assert "aggregates match" in out
+
+
+def test_bench_against_committed_e5_baseline(capsys):
+    """``kecss bench e5 --against`` matches the committed 3-ECSS baseline.
+
+    The E5 aggregates (3-ECSS sizes, iteration counts and approximation
+    ratios over the deterministic seed grid) exercise the full kernel-backed
+    solver -- path-label scoring, the guessing schedule and the Lemma 5.11
+    clamp -- so any behavioural drift in the ported inner loop fails the
+    default test run, mirroring the e3/e9 guards."""
+    baseline = Path(__file__).resolve().parents[1] / "BENCH_e5.json"
+    assert baseline.is_file(), "BENCH_e5.json must be committed at the repo root"
+    exit_code = kecss_main(["bench", "e5", "--against", str(baseline)])
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"E5 aggregates drifted from the committed baseline:\n{out}"
     assert "aggregates match" in out
 
 

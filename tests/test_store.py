@@ -434,3 +434,77 @@ class TestImporter:
         assert store.columns(fresh, ["seed", "metrics.iterations"]) == (
             store.columns(imported, ["seed", "metrics.iterations"])
         )
+
+
+# ------------------------------------------------ concurrent writer contention
+def _contending_writer(args: tuple[str, int, int]) -> list[tuple[str, int]]:
+    """One writer process: *n_runs* sequential ingests into a shared store."""
+    root, worker, n_runs = args
+    store = TrialStore(root, create=False)
+    produced: list[tuple[str, int]] = []
+    for index in range(n_runs):
+        info = store.ingest(
+            "contention",
+            [
+                {
+                    "experiment": "contention",
+                    "config": {"worker": worker},
+                    "seed": index,
+                    "index": index,
+                    "duration": 0.0,
+                    "cached": False,
+                    "error": None,
+                    "metrics": {"value": worker * 1000 + index},
+                }
+            ],
+            created_unix=1000.0 + worker,
+            provenance={"code_version": f"w{worker}"},
+        )
+        produced.append((info.run_id, info.sequence))
+    return produced
+
+
+class TestConcurrentWriters:
+    """The atomic ``mkdir`` run-claim under real multi-process contention."""
+
+    def test_parallel_ingests_never_double_claim_segments(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        root = tmp_path / "store"
+        TrialStore(root)  # created up front; the writers only append
+        workers, runs_each = 4, 6
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = list(
+                pool.map(
+                    _contending_writer,
+                    [(str(root), worker, runs_each) for worker in range(workers)],
+                )
+            )
+        claims = [claim for batch in batches for claim in batch]
+        assert len(claims) == workers * runs_each
+        # No two writers ever claimed the same segment: run ids and sequence
+        # numbers are globally unique across all processes.
+        run_ids = [run_id for run_id, _ in claims]
+        sequences = [sequence for _, sequence in claims]
+        assert len(set(run_ids)) == len(run_ids)
+        assert len(set(sequences)) == len(sequences)
+
+        # A fresh reader sees every run, ordered by sequence, each with a
+        # schema-valid manifest and intact columns.
+        store = TrialStore(root, create=False)
+        runs = store.runs("contention")
+        assert [info.run_id for info in runs] == [
+            run_id for run_id, _ in sorted(claims, key=lambda claim: claim[1])
+        ]
+        values: set[int] = set()
+        for info in runs:
+            assert validate_run_manifest(info.manifest) == []
+            columns = store.columns(info)
+            worker = int(info.provenance["code_version"][1:])
+            assert columns["config.worker"] == [worker]
+            values.update(columns["metrics.value"])
+        assert values == {
+            worker * 1000 + index
+            for worker in range(workers)
+            for index in range(runs_each)
+        }
