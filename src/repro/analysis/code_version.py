@@ -29,6 +29,7 @@ __all__ = [
     "DEFAULT_PACKAGE",
     "MODULE_DEPENDENCIES",
     "declare_modules",
+    "declared_modules",
     "module_files",
     "code_version_for",
     "git_describe",
@@ -75,6 +76,19 @@ def declare_modules(experiment: str, modules: tuple[str, ...] | None) -> None:
         MODULE_DEPENDENCIES.pop(experiment, None)
     else:
         MODULE_DEPENDENCIES[experiment] = tuple(modules)
+
+
+def declared_modules() -> dict[str, tuple[str, ...]]:
+    """Every experiment's declared module dependencies, registrations loaded.
+
+    The runtime counterpart of the static extraction in
+    :func:`repro.lint.trial_declarations`: importing the trial modules runs
+    their ``register_trial(modules=...)`` declarations, so the returned map is
+    exactly what :func:`code_version_for` will hash.  ``kecss lint``'s tests
+    cross-check the two views against each other.
+    """
+    _ensure_declarations()
+    return dict(MODULE_DEPENDENCIES)
 
 
 def module_files(name: str) -> list[Path]:

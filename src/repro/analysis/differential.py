@@ -471,6 +471,7 @@ _AUG_MODULES = (
     "repro.core.k_ecss",
     "repro.core.augmentation",
     "repro.core.cost_effectiveness",
+    "repro.core.result",
     "repro.cycle_space",
     "repro.trees",
     "repro.graphs",

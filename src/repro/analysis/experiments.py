@@ -317,6 +317,7 @@ def experiment_e3_tap_iterations(
         "repro.graphs",
         "repro.mst",
         "repro.tap.cover",
+        "repro.tap.fastcover",
         "repro.trees",
         "repro.congest",
     ),

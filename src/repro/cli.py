@@ -1,5 +1,5 @@
 """Command line interface: ``kecss solve | verify | experiment | bench | cache |
-families | history | regress | store``.
+families | history | regress | store | lint``.
 
 Examples::
 
@@ -17,6 +17,9 @@ Examples::
     kecss cache stats --cache-dir .repro-cache
     kecss cache gc --cache-dir .repro-cache
     kecss families
+    kecss lint                                       # determinism & cache-soundness checks
+    kecss lint --format json --select CACHE001
+    kecss lint --list-rules
 
 The ``experiment`` subcommand runs through the parallel cached
 :class:`~repro.analysis.engine.ExperimentEngine`: ``--workers N`` fans trials
@@ -49,6 +52,13 @@ tabulates per-code-version aggregate trends, and ``regress`` compares the
 latest stored run against the previous code version and exits non-zero on
 drift beyond ``--tolerance`` -- the cross-run superset of ``bench
 --against``.
+
+The ``lint`` subcommand runs the :mod:`repro.lint` static analyzer over the
+package sources: the DET00x determinism rules and the CACHE001
+cache-soundness rule (``register_trial(modules=...)`` declarations must
+cover the trial's transitive import closure).  Exit codes follow the
+``regress`` convention: 0 clean, 1 new findings, 2 usage error.  See
+``docs/lint.md``.
 """
 
 from __future__ import annotations
@@ -207,6 +217,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the trial-cache directory to operate on")
 
     subparsers.add_parser("families", help="list the registered graph families")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism & cache-soundness static analyzer",
+    )
+    lint.add_argument("--root", default=None, metavar="PATH",
+                      help="repository root holding src/repro (default: the "
+                           "checkout this package was imported from)")
+    lint.add_argument("--format", dest="output_format", default="text",
+                      choices=["text", "json"],
+                      help="report format (json is what the CI gate parses)")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run "
+                           "(default: every registered rule)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of grandfathered findings "
+                           "(default: <root>/lint-baseline.json when present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file: report every finding as new")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline file from the current findings "
+                           "and exit 0")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
     return parser
 
 
@@ -546,6 +580,80 @@ def _store_cmd(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from repro.lint import (
+        RULES,
+        default_package_dir,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+    )
+    from repro.lint import write_baseline as write_lint_baseline
+
+    if args.list_rules:
+        table = Table(
+            title="registered lint rules",
+            columns=["code", "scope", "title"],
+        )
+        for code in sorted(RULES):
+            rule = RULES[code]
+            table.add_row(code, rule.scope, rule.title)
+        table.add_note("rationales and the suppression/baseline workflow: docs/lint.md")
+        print(table.to_text())
+        return 0
+
+    if args.root is not None:
+        root = Path(args.root)
+        package_dir = root / "src" / "repro"
+        if not package_dir.is_dir():
+            print(f"no package tree at {package_dir} (expected <root>/src/repro)",
+                  file=sys.stderr)
+            return 2
+    else:
+        package_dir = default_package_dir()
+        root = package_dir.parent.parent
+
+    select = None
+    if args.select is not None:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+        if not select:
+            print(f"--select {args.select!r} names no rules", file=sys.stderr)
+            return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    baseline: dict = {}
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.exists():
+            try:
+                baseline = load_baseline(baseline_path)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            # An explicitly named baseline must exist; the default is optional.
+            print(f"baseline file {baseline_path} does not exist", file=sys.stderr)
+            return 2
+
+    try:
+        result = run_lint(package_dir, select=select, baseline=baseline)
+    except KeyError as exc:
+        print(str(exc.args[0]) if exc.args else str(exc), file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_lint_baseline(baseline_path, result.findings)
+        print(f"wrote {baseline_path} ({count} finding"
+              f"{'' if count == 1 else 's'} grandfathered)")
+        return 0
+
+    if args.output_format == "json":
+        print(render_json(result.new, result.baselined))
+    else:
+        print(render_text(result.new, result.baselined))
+    return result.exit_code
+
+
 def _families(_: argparse.Namespace) -> int:
     table = Table(
         title="registered graph families",
@@ -584,6 +692,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "history": _history,
         "regress": _regress,
         "store": _store_cmd,
+        "lint": _lint,
     }
     return handlers[args.command](args)
 

@@ -66,7 +66,9 @@ _UNSET = object()
 
 def probability_schedule_start(m: int) -> float:
     """Initial activation probability ``1 / 2^ceil(log2 m)`` (Section 4)."""
-    return 1.0 / (2 ** max(1, math.ceil(math.log2(max(m, 2)))))
+    # Exact despite floats: log2 of an int is only rounded by ceil() to pick
+    # the exponent, and 1 / 2^e is a binary power, representable exactly.
+    return 1.0 / (2 ** max(1, math.ceil(math.log2(max(m, 2)))))  # repro: disable=DET004
 
 
 def rounded_exponent(uncovered: int, weight: int) -> int:
@@ -114,10 +116,12 @@ class GuessingSchedule:
             self._current_max = maximum
             self.probability = self.start
             self.phase_counter = 0
-        elif self.phase_counter >= self.phase_length and self.probability < 1.0:
-            self.probability = min(1.0, self.probability * 2)
+        # The schedule only ever holds binary powers 2^-e doubled up to 1, so
+        # every float below is exact and the 1.0 comparisons are reliable.
+        elif self.phase_counter >= self.phase_length and self.probability < 1.0:  # repro: disable=DET004
+            self.probability = min(1.0, self.probability * 2)  # repro: disable=DET004
             self.phase_counter = 0
-        if self.probability < 1.0:
+        if self.probability < 1.0:  # repro: disable=DET004
             # Once p reaches 1 the counter is frozen: it is only ever read
             # under ``probability < 1.0`` and the next maximum drop resets it,
             # so letting it grow unboundedly was pure bookkeeping waste.

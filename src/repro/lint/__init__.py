@@ -1,0 +1,80 @@
+"""repro.lint: determinism & cache-soundness static analysis (``kecss lint``).
+
+Every guarantee this reproduction makes -- bit-identical kernel/oracle
+parity, replay-safe caches keyed by content-hashed code versions, identical
+aggregates across execution backends -- is a determinism invariant that the
+runtime checks (``diff-*`` sweeps, ``kecss regress``) only verify on the
+seeds actually swept.  This package checks the *sources* of nondeterminism
+statically, before execution, AST-only (the analysed tree is never
+imported):
+
+* a rule registry mirroring the solver/backend registries
+  (:mod:`repro.lint.registry`), shipped with the DET00x determinism family
+  and the CACHE001 cache-soundness rule (:mod:`repro.lint.rules`);
+* an intra-package import graph and ``register_trial`` declaration
+  extractor (:mod:`repro.lint.imports`) powering CACHE001;
+* inline ``# repro: disable=CODE`` suppressions and a committed baseline
+  file for grandfathered findings (:mod:`repro.lint.report`).
+
+See ``docs/lint.md`` for the rule catalogue and workflows.
+"""
+
+from repro.lint.driver import LintResult, default_package_dir, lint_project, run_lint
+from repro.lint.imports import (
+    ImportGraph,
+    TrialDeclaration,
+    build_import_graph,
+    expand_declaration,
+    trial_closure,
+    trial_declarations,
+)
+from repro.lint.registry import RULES, Rule, register_rule, select_rules
+from repro.lint.report import (
+    Finding,
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+    render_json,
+    render_text,
+    suppressed_codes,
+    write_baseline,
+)
+from repro.lint.rules import EXACT_MODULES
+from repro.lint.walker import (
+    ImportBinding,
+    ModuleContext,
+    ProjectContext,
+    load_project,
+    project_from_sources,
+)
+
+__all__ = [
+    "LintResult",
+    "lint_project",
+    "run_lint",
+    "default_package_dir",
+    "ImportGraph",
+    "TrialDeclaration",
+    "build_import_graph",
+    "expand_declaration",
+    "trial_closure",
+    "trial_declarations",
+    "RULES",
+    "Rule",
+    "register_rule",
+    "select_rules",
+    "Finding",
+    "apply_baseline",
+    "apply_suppressions",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "suppressed_codes",
+    "write_baseline",
+    "EXACT_MODULES",
+    "ImportBinding",
+    "ModuleContext",
+    "ProjectContext",
+    "load_project",
+    "project_from_sources",
+]

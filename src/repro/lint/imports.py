@@ -1,0 +1,258 @@
+"""The intra-package import graph and the ``register_trial`` declarations.
+
+This is the substrate of the CACHE001 cache-soundness rule: the engine's
+replay cache keys trial results by a code version derived from the modules an
+experiment *declares* (``register_trial(name, modules=...)``, hashed by
+:mod:`repro.analysis.code_version`).  The declaration is a promise -- "my
+behaviour is a function of these files" -- and nothing at runtime checks it.
+This module rebuilds both sides of that promise statically:
+
+* :class:`ImportGraph` -- module -> imported project modules, from the parsed
+  import tables (``TYPE_CHECKING`` imports excluded: they never execute);
+* :func:`trial_declarations` -- every ``@register_trial(...)`` decorated
+  function in the tree, with its declared ``modules=`` tuple resolved
+  (including tuples bound to module-level constants such as
+  ``_TAP_MODULES``);
+* :func:`trial_closure` -- the modules a trial can actually reach: the names
+  referenced in its body (resolved through same-module helpers, so a trial
+  calling a private ``_instance`` helper inherits that helper's imports),
+  expanded transitively through the import graph.
+
+Two classes of import deliberately contribute **no** graph edges, because
+either would make the closure -- and therefore the check -- vacuous:
+
+* the trial's own defining module's imports (experiment modules import every
+  solver at module level; the fine-grained name scan over the trial body
+  replaces those edges);
+* function-local (lazy) imports in *other* modules (the engine's
+  registry-resolution imports form a cycle through
+  ``repro.analysis.experiments``, which imports everything).  A lazy import
+  in the trial body itself still counts -- the name scan resolves through
+  every binding of the defining module, including function-local ones.
+
+Implicit ancestor-package ``__init__`` execution is likewise out of scope
+(see ``docs/lint.md`` for the full soundness boundary).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.walker import ModuleContext, ProjectContext, dotted_name
+
+__all__ = [
+    "ImportGraph",
+    "TrialDeclaration",
+    "build_import_graph",
+    "trial_declarations",
+    "trial_closure",
+    "expand_declaration",
+    "is_register_trial_decorator",
+]
+
+
+@dataclass
+class ImportGraph:
+    """Directed module -> module edges within one project."""
+
+    edges: dict[str, set[str]]
+
+    def closure(
+        self, seeds: Iterable[str], skip_edges_of: frozenset[str] = frozenset()
+    ) -> set[str]:
+        """Transitive closure of *seeds*; ``skip_edges_of`` members are kept
+        in the closure but their outgoing edges are not followed."""
+        reached: set[str] = set()
+        stack = list(seeds)
+        while stack:
+            module = stack.pop()
+            if module in reached:
+                continue
+            reached.add(module)
+            if module in skip_edges_of:
+                continue
+            stack.extend(self.edges.get(module, ()) - reached)
+        return reached
+
+
+def build_import_graph(project: ProjectContext) -> ImportGraph:
+    """Resolve every executable import to a project module and build the graph."""
+    edges: dict[str, set[str]] = {}
+    for name, ctx in project.modules.items():
+        targets = edges.setdefault(name, set())
+        for binding in ctx.imports:
+            if binding.type_checking or binding.function_local:
+                continue
+            resolved = project.resolve_import(binding)
+            if resolved is not None and resolved != name:
+                targets.add(resolved)
+    return ImportGraph(edges)
+
+
+def is_register_trial_decorator(decorator: ast.expr) -> bool:
+    """True for ``@register_trial(...)`` (bare or attribute-qualified)."""
+    if not isinstance(decorator, ast.Call):
+        return False
+    name = dotted_name(decorator.func)
+    return name is not None and name.split(".")[-1] == "register_trial"
+
+
+@dataclass
+class TrialDeclaration:
+    """One ``@register_trial(...)`` site, statically extracted."""
+
+    trial: str
+    function: str
+    module: str
+    lineno: int
+    #: The declared ``modules=`` tuple; ``None`` means the experiment relies
+    #: on the conservative hash-everything default, which cannot go stale.
+    modules: tuple[str, ...] | None
+
+
+def _constant_str_tuple(node: ast.expr, ctx: ModuleContext) -> tuple[str, ...] | None:
+    """Evaluate *node* as a tuple of string constants, following one level of
+    module-level ``Name`` indirection (``modules=_TAP_MODULES``)."""
+    if isinstance(node, ast.Name):
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == node.id:
+                        return _constant_str_tuple(stmt.value, ctx)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name) and stmt.target.id == node.id:
+                    return _constant_str_tuple(stmt.value, ctx)
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        values: list[str] = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            values.append(element.value)
+        return tuple(values)
+    return None
+
+
+def trial_declarations(project: ProjectContext) -> list[TrialDeclaration]:
+    """Every ``@register_trial``-decorated function in the project."""
+    declarations: list[TrialDeclaration] = []
+    for name, ctx in sorted(project.modules.items()):
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in stmt.decorator_list:
+                if not is_register_trial_decorator(decorator):
+                    continue
+                call = decorator
+                if not (
+                    call.args
+                    and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)
+                ):
+                    continue
+                modules: tuple[str, ...] | None = None
+                for keyword in call.keywords:
+                    if keyword.arg == "modules":
+                        if isinstance(keyword.value, ast.Constant) and (
+                            keyword.value.value is None
+                        ):
+                            modules = None
+                        else:
+                            modules = _constant_str_tuple(keyword.value, ctx)
+                declarations.append(
+                    TrialDeclaration(
+                        trial=call.args[0].value,
+                        function=stmt.name,
+                        module=name,
+                        lineno=decorator.lineno,
+                        modules=modules,
+                    )
+                )
+    return declarations
+
+
+def _module_level_definitions(ctx: ModuleContext) -> dict[str, ast.AST]:
+    """Top-level name -> defining node (functions, classes, assignments)."""
+    definitions: dict[str, ast.AST] = {}
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            definitions[stmt.name] = stmt
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    definitions[target.id] = stmt
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            definitions[stmt.target.id] = stmt
+    return definitions
+
+
+def _referenced_names(node: ast.AST, skip_decorators: bool) -> set[str]:
+    names: set[str] = set()
+    if skip_decorators and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        roots: list[ast.AST] = [*node.args.defaults, *node.args.kw_defaults, *node.body]
+        roots = [root for root in roots if root is not None]
+    else:
+        roots = [node]
+    for root in roots:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+    return names
+
+
+def trial_closure(
+    project: ProjectContext,
+    graph: ImportGraph,
+    declaration: TrialDeclaration,
+) -> set[str]:
+    """The project modules *declaration*'s trial function can reach.
+
+    Seeds are the defining module plus every import binding the trial body
+    references, chased recursively through same-module helper definitions;
+    the seeds are then expanded through the import graph.  Decorators are
+    excluded from the trial function's own scan (they run at registration
+    time, not per trial) but helper definitions are scanned whole.
+    """
+    ctx = project.modules[declaration.module]
+    definitions = _module_level_definitions(ctx)
+    trial_node = definitions.get(declaration.function)
+    bindings = {
+        binding.local: binding
+        for binding in ctx.imports
+        if not binding.type_checking
+    }
+
+    seen_definitions: set[str] = set()
+    seeds: set[str] = {declaration.module}
+    pending: list[tuple[ast.AST, bool]] = []
+    if trial_node is not None:
+        pending.append((trial_node, True))
+    while pending:
+        node, skip_decorators = pending.pop()
+        for name in _referenced_names(node, skip_decorators):
+            if name in bindings:
+                resolved = project.resolve_import(bindings[name])
+                if resolved is not None:
+                    seeds.add(resolved)
+            elif name in definitions and name not in seen_definitions:
+                if name == declaration.function:
+                    continue
+                seen_definitions.add(name)
+                pending.append((definitions[name], False))
+    return graph.closure(seeds, skip_edges_of=frozenset({declaration.module}))
+
+
+def expand_declaration(entry: str, project: ProjectContext) -> set[str] | None:
+    """The project modules covered by one ``modules=`` entry.
+
+    Mirrors :func:`repro.analysis.code_version.module_files`: a package name
+    covers itself and every submodule, a module name covers that file only.
+    Returns ``None`` for names that resolve to nothing in the project (the
+    declaration would fail to hash at runtime).
+    """
+    covered = {name for name in project.modules if name.startswith(entry + ".")}
+    if entry in project.modules:
+        covered.add(entry)
+    return covered or None

@@ -73,9 +73,9 @@ class TapResult:
     history: list[TapIterationStats] = field(default_factory=list)
 
 
-def _voting_threshold(candidate_uncovered: int) -> float:
-    """The |C_e| / 8 vote threshold of Line 5."""
-    return candidate_uncovered / 8.0
+def _passes_voting_threshold(votes: int, candidate_uncovered: int) -> bool:
+    """The votes >= |C_e| / 8 test of Line 5, in exact integer arithmetic."""
+    return 8 * votes >= candidate_uncovered
 
 
 def _resolve_run_parameters(
@@ -375,6 +375,6 @@ def _voting_round_nx(
         uncovered = candidate_uncovered[edge]
         if not uncovered:
             continue
-        if votes[edge] >= _voting_threshold(len(uncovered)):
+        if _passes_voting_threshold(votes[edge], len(uncovered)):
             added.append(edge)
     return added

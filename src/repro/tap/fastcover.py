@@ -259,7 +259,7 @@ class FastCoverage:
             j
             for pos, j in enumerate(candidates)
             if candidate_uncovered[pos]
-            and votes[pos] >= candidate_uncovered[pos] / 8.0
+            and 8 * votes[pos] >= candidate_uncovered[pos]
         ]
 
     # ------------------------------------------------------------ validation

@@ -167,3 +167,73 @@ class TestCacheCommand:
         for action in ("stats", "gc", "clear"):
             assert main(["cache", action, "--cache-dir", str(missing)]) == 0
         assert "no cache directory" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    """Exit codes follow the ``kecss regress`` convention: 0 clean, 1 new
+    findings, 2 usage error (argparse errors also exit 2)."""
+
+    @staticmethod
+    def _root_with_finding(tmp_path):
+        pkg = tmp_path / "checkout" / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text(
+            "import random\n"
+            "def draw():\n"
+            "    return random.random()\n"
+        )
+        return tmp_path / "checkout"
+
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = self._root_with_finding(tmp_path)
+        assert main(["lint", "--root", str(root)]) == 1
+        output = capsys.readouterr().out
+        assert "DET001" in output and "1 finding" in output
+
+    def test_json_format_carries_summary(self, tmp_path, capsys):
+        root = self._root_with_finding(tmp_path)
+        assert main(["lint", "--root", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+        assert payload["findings"][0]["code"] == "DET001"
+        assert "CACHE001" in payload["rules"]
+
+    def test_bad_root_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--root", str(tmp_path / "nope")]) == 2
+        assert "src/repro" in capsys.readouterr().err
+
+    def test_unknown_rule_is_a_usage_error(self, capsys):
+        assert main(["lint", "--select", "NOPE"]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_explicit_baseline_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--baseline", str(tmp_path / "gone.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_format_exits_two_via_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["lint", "--format", "yaml"])
+        assert excinfo.value.code == 2
+
+    def test_write_baseline_then_lint_is_clean(self, tmp_path, capsys):
+        root = self._root_with_finding(tmp_path)
+        baseline = root / "lint-baseline.json"
+        assert main(["lint", "--root", str(root), "--write-baseline"]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        # The grandfathered finding is still reported but does not fail.
+        assert main(["lint", "--root", str(root)]) == 0
+        output = capsys.readouterr().out
+        assert "(baselined)" in output and "0 new" in output
+        # --no-baseline restores failure.
+        assert main(["lint", "--root", str(root), "--no-baseline"]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004", "CACHE001"):
+            assert code in output

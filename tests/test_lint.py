@@ -1,0 +1,478 @@
+"""Tests for the :mod:`repro.lint` static analyzer.
+
+Rule behaviour is pinned with small inline source fixtures
+(:func:`repro.lint.project_from_sources` builds a project without touching
+the filesystem); the import graph is additionally exercised against a real
+on-disk package tree, and the CACHE001 mutation test lints a *copy* of the
+installed package with a declared module deleted -- proving the CI gate
+would catch exactly that regression.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.code_version import declared_modules
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    build_import_graph,
+    lint_project,
+    load_baseline,
+    load_project,
+    project_from_sources,
+    run_lint,
+    select_rules,
+    suppressed_codes,
+    trial_closure,
+    trial_declarations,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PACKAGE_DIR = REPO_ROOT / "src" / "repro"
+
+
+def lint_sources(sources: dict[str, str], select=None) -> list[Finding]:
+    return lint_project(project_from_sources(sources), select=select)
+
+
+def codes(findings: list[Finding]) -> list[str]:
+    return [finding.code for finding in findings]
+
+
+# --------------------------------------------------------------------- DET001
+class TestDet001GlobalRandom:
+    def test_flags_global_random_calls(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "import random\n"
+                "def pick(items):\n"
+                "    random.shuffle(items)\n"
+                "    return random.randint(0, 3)\n"
+            ),
+        }, select=["DET001"])
+        assert codes(findings) == ["DET001", "DET001"]
+        assert "random.shuffle" in findings[0].message
+        assert findings[0].symbol == "pick"
+
+    def test_flags_from_import_and_numpy_alias(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "from random import shuffle\n"
+                "import numpy as np\n"
+                "def f(items):\n"
+                "    shuffle(items)\n"
+                "    np.random.seed(0)\n"
+            ),
+        }, select=["DET001"])
+        assert codes(findings) == ["DET001", "DET001"]
+        assert "numpy.random.seed" in findings[1].message
+
+    def test_seeded_generators_are_fine(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "import random\n"
+                "import numpy as np\n"
+                "def f(seed):\n"
+                "    rng = random.Random(seed)\n"
+                "    gen = np.random.default_rng(seed)\n"
+                "    rng.shuffle([1, 2])\n"
+                "    return gen\n"
+            ),
+        }, select=["DET001"])
+        assert findings == []
+
+    def test_inline_suppression_silences(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "import random\n"
+                "def f():\n"
+                "    return random.random()  # repro: disable=DET001 -- demo\n"
+            ),
+        }, select=["DET001"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- DET002
+class TestDet002SetIteration:
+    def test_flags_for_loop_comprehension_and_list(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "def f(items):\n"
+                "    out = []\n"
+                "    for x in set(items):\n"
+                "        out.append(x)\n"
+                "    ys = [y for y in {1, 2, 3}]\n"
+                "    return out, ys, list(set(items) - {0})\n"
+            ),
+        }, select=["DET002"])
+        assert codes(findings) == ["DET002", "DET002", "DET002"]
+
+    def test_sorted_and_membership_are_fine(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "def f(items, probe):\n"
+                "    out = [x for x in sorted(set(items))]\n"
+                "    hit = probe in set(items)\n"
+                "    both = set(items) & {1, 2}\n"
+                "    return out, hit, both\n"
+            ),
+        }, select=["DET002"])
+        assert findings == []
+
+    def test_inline_suppression_silences(self):
+        findings = lint_sources({
+            "pkg.mod": (
+                "def f(items):\n"
+                "    for x in set(items):  # repro: disable=DET002 -- order unused\n"
+                "        print(x)\n"
+            ),
+        }, select=["DET002"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- DET003
+class TestDet003TrialNondeterminism:
+    TRIAL = (
+        "import time\n"
+        "from repro.engine import register_trial\n"
+        "@register_trial('t1')\n"
+        "def t1_trial(config, seed):\n"
+        "    return {'at': time.time()}\n"
+    )
+
+    def test_flags_wall_clock_in_trial(self):
+        findings = lint_sources({"pkg.exp": self.TRIAL}, select=["DET003"])
+        assert codes(findings) == ["DET003"]
+        assert "time.time" in findings[0].message
+        assert findings[0].symbol == "t1_trial"
+
+    def test_same_call_outside_a_trial_is_fine(self):
+        findings = lint_sources({
+            "pkg.exp": (
+                "import time\n"
+                "def helper():\n"
+                "    return time.time()\n"
+            ),
+        }, select=["DET003"])
+        assert findings == []
+
+    def test_inline_suppression_silences(self):
+        suppressed = self.TRIAL.replace(
+            "time.time()}", "time.time()}  # repro: disable=DET003 -- demo"
+        )
+        findings = lint_sources({"pkg.exp": suppressed}, select=["DET003"])
+        assert findings == []
+
+
+# --------------------------------------------------------------------- DET004
+class TestDet004FloatInExactPath:
+    EXACT = "repro.tap.cover"  # a member of EXACT_MODULES
+
+    def test_flags_float_literal_cast_and_inexact_math(self):
+        sources = {
+            "repro": "",
+            "repro.tap": "",
+            self.EXACT: (
+                "import math\n"
+                "def score(votes, total):\n"
+                "    if votes >= total / 8.0:\n"
+                "        return float(total)\n"
+                "    return math.sqrt(total)\n"
+            ),
+        }
+        findings = lint_sources(sources, select=["DET004"])
+        assert codes(findings) == ["DET004", "DET004", "DET004"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "8.0" in messages and "float()" in messages and "math.sqrt" in messages
+
+    def test_same_code_outside_exact_modules_is_fine(self):
+        findings = lint_sources({
+            "repro": "",
+            "repro.metrics": "def mean(xs):\n    return sum(xs) / 1.0\n",
+        }, select=["DET004"])
+        assert findings == []
+
+    def test_inline_suppression_silences(self):
+        findings = lint_sources({
+            "repro": "",
+            "repro.tap": "",
+            self.EXACT: (
+                "P = 1.0 / 8  # repro: disable=DET004 -- exact binary power\n"
+            ),
+        }, select=["DET004"])
+        assert findings == []
+
+
+# ------------------------------------------------------------------- CACHE001
+def cache_sources(modules_tuple: str) -> dict[str, str]:
+    """A synthetic package with one declared trial and a helper chain."""
+    return {
+        "repro": "",
+        "repro.engine": (
+            "def register_trial(name, modules=None):\n"
+            "    def wrap(fn):\n"
+            "        return fn\n"
+            "    return wrap\n"
+        ),
+        "repro.solver": (
+            "from repro.util import helper\n"
+            "def solve(seed):\n"
+            "    return helper(seed)\n"
+        ),
+        "repro.util": "def helper(seed):\n    return seed\n",
+        "repro.exp": (
+            "from repro.engine import register_trial\n"
+            "from repro.solver import solve\n"
+            f"@register_trial('t1', modules={modules_tuple})\n"
+            "def t1_trial(config, seed):\n"
+            "    return solve(seed)\n"
+        ),
+    }
+
+
+class TestCache001:
+    def test_flags_transitively_missing_module(self):
+        # The trial reaches repro.util through repro.solver's import.
+        findings = lint_sources(
+            cache_sources("('repro.exp', 'repro.solver')"), select=["CACHE001"]
+        )
+        assert codes(findings) == ["CACHE001"]
+        assert "repro.util" in findings[0].message
+        assert findings[0].symbol == "t1_trial"
+
+    def test_complete_declaration_is_clean(self):
+        findings = lint_sources(
+            cache_sources("('repro.exp', 'repro.solver', 'repro.util')"),
+            select=["CACHE001"],
+        )
+        assert findings == []
+
+    def test_package_name_covers_all_submodules(self):
+        findings = lint_sources(cache_sources("('repro',)"), select=["CACHE001"])
+        assert findings == []
+
+    def test_undeclared_trial_uses_conservative_default(self):
+        sources = cache_sources("('repro.exp',)")
+        sources["repro.exp"] = sources["repro.exp"].replace(
+            ", modules=('repro.exp',)", ""
+        )
+        assert lint_sources(sources, select=["CACHE001"]) == []
+
+    def test_nonexistent_declared_module_is_flagged(self):
+        findings = lint_sources(
+            cache_sources("('repro.exp', 'repro.solver', 'repro.util', 'repro.gone')"),
+            select=["CACHE001"],
+        )
+        assert codes(findings) == ["CACHE001"]
+        assert "repro.gone" in findings[0].message
+
+    def test_declaration_through_module_constant(self):
+        sources = cache_sources("_MODULES")
+        sources["repro.exp"] = (
+            "_MODULES = ('repro.exp', 'repro.solver', 'repro.util')\n"
+            + sources["repro.exp"]
+        )
+        assert lint_sources(sources, select=["CACHE001"]) == []
+
+    def test_type_checking_imports_do_not_extend_closure(self):
+        sources = cache_sources("('repro.exp', 'repro.solver', 'repro.util')")
+        sources["repro.big"] = "def heavy():\n    return 1\n"
+        sources["repro.util"] = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.big import heavy\n"
+            "def helper(seed):\n"
+            "    return seed\n"
+        )
+        assert lint_sources(sources, select=["CACHE001"]) == []
+
+    def test_function_local_imports_elsewhere_do_not_extend_closure(self):
+        # The engine-style lazy import inside a helper of another module must
+        # not connect the closure to the lazily imported module.
+        sources = cache_sources("('repro.exp', 'repro.solver', 'repro.util')")
+        sources["repro.lazy"] = "def lazy():\n    return 1\n"
+        sources["repro.util"] = (
+            "def helper(seed):\n"
+            "    from repro.lazy import lazy\n"
+            "    return lazy()\n"
+        )
+        assert lint_sources(sources, select=["CACHE001"]) == []
+
+    def test_lazy_import_in_the_trial_body_counts(self):
+        sources = cache_sources("('repro.exp', 'repro.solver')")
+        sources["repro.lazy"] = "def lazy():\n    return 1\n"
+        sources["repro.exp"] = (
+            "from repro.engine import register_trial\n"
+            "@register_trial('t1', modules=('repro.exp', 'repro.solver'))\n"
+            "def t1_trial(config, seed):\n"
+            "    from repro.lazy import lazy\n"
+            "    return lazy()\n"
+        )
+        findings = lint_sources(sources, select=["CACHE001"])
+        assert codes(findings) == ["CACHE001"]
+        assert "repro.lazy" in findings[0].message
+
+    def test_helper_chain_pulls_in_helper_imports(self):
+        # The trial only calls a same-module helper; the helper's imported
+        # solver must still appear in the closure.
+        sources = cache_sources("('repro.exp',)")
+        sources["repro.exp"] = (
+            "from repro.engine import register_trial\n"
+            "from repro.solver import solve\n"
+            "def _instance(seed):\n"
+            "    return solve(seed)\n"
+            "@register_trial('t1', modules=('repro.exp',))\n"
+            "def t1_trial(config, seed):\n"
+            "    return _instance(seed)\n"
+        )
+        findings = lint_sources(sources, select=["CACHE001"])
+        assert codes(findings) == ["CACHE001"]
+        assert "repro.solver" in findings[0].message
+
+
+# ------------------------------------------------------- import graph on disk
+class TestImportGraphOnDisk:
+    @pytest.fixture()
+    def package_root(self, tmp_path: Path) -> Path:
+        pkg = tmp_path / "src" / "mypkg"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("import mypkg.b\n")
+        (pkg / "b.py").write_text("from mypkg import c\n")
+        (pkg / "c.py").write_text("from . import d\n")
+        (pkg / "d.py").write_text("")
+        (pkg / "sub" / "__init__.py").write_text("")
+        (pkg / "sub" / "e.py").write_text("from ..a import something\n")
+        return pkg
+
+    def test_modules_paths_and_edges(self, package_root: Path):
+        project = load_project(package_root, package="mypkg")
+        assert set(project.modules) == {
+            "mypkg", "mypkg.a", "mypkg.b", "mypkg.c", "mypkg.d",
+            "mypkg.sub", "mypkg.sub.e",
+        }
+        assert project.modules["mypkg"].is_package
+        assert project.modules["mypkg.sub"].is_package
+        assert not project.modules["mypkg.a"].is_package
+        # Paths are reported relative to the grandparent of the package dir
+        # (the repo root in a src layout).
+        assert project.modules["mypkg.a"].relpath == "src/mypkg/a.py"
+        assert project.modules["mypkg.sub.e"].relpath == "src/mypkg/sub/e.py"
+
+        graph = build_import_graph(project)
+        assert graph.edges["mypkg.a"] == {"mypkg.b"}
+        # ``from mypkg import c`` resolves submodule-first.
+        assert graph.edges["mypkg.b"] == {"mypkg.c"}
+        # Relative imports resolve against the defining package.
+        assert graph.edges["mypkg.c"] == {"mypkg.d"}
+        assert graph.edges["mypkg.sub.e"] == {"mypkg.a"}
+
+    def test_closure_and_skip_edges(self, package_root: Path):
+        project = load_project(package_root, package="mypkg")
+        graph = build_import_graph(project)
+        assert graph.closure({"mypkg.a"}) == {
+            "mypkg.a", "mypkg.b", "mypkg.c", "mypkg.d",
+        }
+        assert graph.closure(
+            {"mypkg.a"}, skip_edges_of=frozenset({"mypkg.a"})
+        ) == {"mypkg.a"}
+
+
+# -------------------------------------------------- suppressions and baseline
+class TestSuppressionsAndBaseline:
+    def test_suppressed_codes_parsing(self):
+        line = "x = 1.0  # repro: disable=DET004, CACHE001 -- justified"
+        assert suppressed_codes(line) == frozenset({"DET004", "CACHE001"})
+        assert suppressed_codes("x = 1.0  # plain comment") == frozenset()
+
+    def test_baseline_roundtrip(self, tmp_path: Path):
+        finding = Finding("DET001", "src/repro/x.py", 3, 0, "msg", "f")
+        path = tmp_path / "lint-baseline.json"
+        assert write_baseline(path, [finding]) == 1
+        baseline = load_baseline(path)
+        assert finding.fingerprint in baseline
+        new, grandfathered = apply_baseline([finding], baseline)
+        assert new == [] and len(grandfathered) == 1
+        assert grandfathered[0].baselined
+
+    def test_fingerprint_survives_line_motion(self):
+        a = Finding("DET001", "p.py", 3, 0, "msg", "f")
+        b = Finding("DET001", "p.py", 99, 7, "msg", "f")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != Finding("DET002", "p.py", 3, 0, "msg", "f").fingerprint
+
+    def test_baseline_version_mismatch_rejected(self, tmp_path: Path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(KeyError):
+            select_rules(["NOPE"])
+
+
+# ------------------------------------------------------- the repo lints clean
+class TestRepoIsClean:
+    def test_package_tree_has_no_findings(self):
+        result = run_lint(PACKAGE_DIR)
+        assert result.new == [], "\n".join(
+            f"{f.path}:{f.line}: {f.code} {f.message}" for f in result.new
+        )
+        assert result.exit_code == 0
+
+    def test_static_declarations_match_runtime_registry(self):
+        """The AST view of ``register_trial(modules=...)`` agrees with what
+        the runtime registry (and therefore ``code_version_for``) hashes."""
+        project = load_project(PACKAGE_DIR)
+        static = {
+            d.trial: d.modules
+            for d in trial_declarations(project)
+            if d.modules is not None
+        }
+        runtime = declared_modules()
+        assert static == {
+            trial: modules for trial, modules in runtime.items()
+        }
+
+    def test_every_trial_closure_is_computable(self):
+        project = load_project(PACKAGE_DIR)
+        graph = build_import_graph(project)
+        declarations = trial_declarations(project)
+        assert declarations, "no register_trial declarations found"
+        for declaration in declarations:
+            closure = trial_closure(project, graph, declaration)
+            assert declaration.module in closure
+
+
+# ------------------------------------------------------------- mutation test
+class TestCache001Mutation:
+    def test_deleting_a_declared_module_fails_lint(self, tmp_path: Path):
+        """Deleting a declared ``modules=`` entry from a copy of the real
+        package makes ``kecss lint`` exit non-zero: the CI gate catches the
+        exact stale-cache hole CACHE001 exists for."""
+        from repro.cli import main
+
+        root = tmp_path / "checkout"
+        shutil.copytree(PACKAGE_DIR, root / "src" / "repro")
+        experiments = root / "src" / "repro" / "analysis" / "experiments.py"
+        source = experiments.read_text()
+        needle = '        "repro.tap.fastcover",\n'
+        assert needle in source, "e4 no longer declares repro.tap.fastcover"
+        experiments.write_text(source.replace(needle, "", 1))
+
+        assert main(["lint", "--root", str(root), "--select", "CACHE001"]) == 1
+
+    def test_unmutated_copy_is_clean(self, tmp_path: Path, capsys):
+        from repro.cli import main
+
+        root = tmp_path / "checkout"
+        shutil.copytree(PACKAGE_DIR, root / "src" / "repro")
+        assert main(["lint", "--root", str(root)]) == 0
+        assert "no findings" in capsys.readouterr().out
