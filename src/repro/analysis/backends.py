@@ -9,7 +9,7 @@ picklable function over a batch of items and returns the results **in item
 order**, and a string registry (:data:`BACKENDS`) lets new backends plug in
 by name without touching :class:`~repro.analysis.engine.ExperimentEngine`.
 
-Three backends ship by default:
+Four backends ship by default:
 
 * ``"serial"`` -- in-process ``for`` loop; zero overhead, always available.
 * ``"threads"`` -- ``ThreadPoolExecutor``; cheap fan-out for trials that
@@ -17,12 +17,25 @@ Three backends ship by default:
   concurrent code paths in tests.
 * ``"processes"`` -- ``ProcessPoolExecutor``; true parallelism for
   CPU-bound solver trials (functions and items must pickle).
+* ``"cluster"`` -- the socket work queue of :mod:`repro.analysis.cluster`
+  (loopback worker processes by default, external ``kecss worker`` peers
+  via ``REPRO_CLUSTER_LISTEN``); registered lazily through
+  :data:`_BACKEND_AUTOLOAD` so importing this module stays cheap.
+
+Backends may optionally be context managers: entering one acquires a
+persistent resource (an executor pool, a coordinator plus its workers)
+that successive ``map`` calls reuse, and exiting releases it.  The engine
+enters its backend when used as ``with engine:`` so pool startup amortises
+across batches; an un-entered ``map`` stays self-contained, acquiring and
+releasing per call.
 
 Because trial seeds are derived up front, every backend produces
 bit-identical results; only the wall-clock differs.
 """
 
 from __future__ import annotations
+
+import importlib
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -34,6 +47,7 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "BACKENDS",
+    "available_backends",
     "register_backend",
     "resolve_backend",
 ]
@@ -65,6 +79,18 @@ class ExecutionBackend(Protocol):
 #: adds entries; MPI/ray backends can register here without engine changes.
 BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {}
 
+#: Backends registered on first use: name -> module whose import runs the
+#: ``register_backend`` call.  Keeps ``import repro.analysis.backends`` free
+#: of the heavier backends' dependencies (multiprocessing, sockets).
+_BACKEND_AUTOLOAD: dict[str, str] = {
+    "cluster": "repro.analysis.cluster.backend",
+}
+
+
+def available_backends() -> list[str]:
+    """Every resolvable backend name (registered plus autoloadable), sorted."""
+    return sorted(set(BACKENDS) | set(_BACKEND_AUTOLOAD))
+
 
 def register_backend(name: str):
     """Register the decorated backend factory/class under *name*."""
@@ -88,20 +114,62 @@ class SerialBackend:
         return [function(item) for item in items]
 
 
+def _map_chunksize(n_items: int, pool_size: int) -> int:
+    """``Executor.map`` chunksize: a few chunks per worker, never below 1.
+
+    ``ProcessPoolExecutor.map`` defaults to chunksize 1 -- one IPC round
+    trip per item, which dominates the wall clock when trials run in
+    microseconds.  A few chunks per worker amortises the pickling without
+    costing load balance on small batches.  (Thread pools ignore the
+    parameter's perf effect but accept it, so the call stays uniform.)
+    """
+    return max(1, n_items // (max(1, pool_size) * 4))
+
+
 @dataclass
 class _PoolBackend:
-    """Shared executor-pool plumbing for the thread and process backends."""
+    """Shared executor-pool plumbing for the thread and process backends.
+
+    Used as a context manager, one executor pool persists across ``map``
+    calls (``ExperimentEngine`` enters its backend under ``with engine:``
+    to amortise pool startup over a batch sequence); un-entered, each
+    ``map`` spins up and tears down its own pool, as it always did.
+    """
 
     workers: int = 2
     name: str = "pool"
     _executor_cls = None
+    _pool = None  # class attribute: set per instance while entered
+
+    def __enter__(self):
+        if self._pool is None:
+            self._pool = self._executor_cls(max_workers=max(1, self.workers))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def map(self, function, items):
+        items = list(items)
+        if self._pool is not None:
+            return list(
+                self._pool.map(
+                    function, items,
+                    chunksize=_map_chunksize(len(items), self.workers),
+                )
+            )
         if self.workers <= 1 or len(items) <= 1:
             return [function(item) for item in items]
         pool_size = min(self.workers, len(items))
         with self._executor_cls(max_workers=pool_size) as pool:
-            return list(pool.map(function, items))
+            return list(
+                pool.map(
+                    function, items,
+                    chunksize=_map_chunksize(len(items), pool_size),
+                )
+            )
 
 
 @register_backend("threads")
@@ -135,12 +203,15 @@ def resolve_backend(
     if spec is None:
         spec = "serial" if workers <= 1 else "processes"
     if isinstance(spec, str):
+        if spec not in BACKENDS and spec in _BACKEND_AUTOLOAD:
+            # Importing the module runs its register_backend decorator.
+            importlib.import_module(_BACKEND_AUTOLOAD[spec])
         try:
             factory = BACKENDS[spec]
         except KeyError:
             raise KeyError(
                 f"no execution backend registered under {spec!r}; "
-                f"known backends: {sorted(BACKENDS)}"
+                f"known backends: {available_backends()}"
             ) from None
         return factory(workers=workers)
     return spec

@@ -93,6 +93,7 @@ def trial_payload(job: TrialJob, result: TrialResult) -> dict:
         "duration": result.duration,
         "cached": result.cached,
         "error": result.error,
+        "worker": result.worker,
         "metrics": result.metrics,
     }
 

@@ -1,0 +1,43 @@
+"""Distributed socket work-queue backend (``"cluster"``).
+
+A dependency-free TCP work queue that lets engine sweeps leave one machine:
+a :class:`~repro.analysis.cluster.coordinator.Coordinator` in the driving
+process serves pickled, length-prefixed job frames
+(:mod:`~repro.analysis.cluster.protocol`), and workers
+(:mod:`~repro.analysis.cluster.worker`, or ``kecss worker --connect``)
+register over a socket, lease chunks, heartbeat, and steal work from slower
+peers.  :class:`~repro.analysis.cluster.backend.ClusterBackend` packages the
+whole thing as an :class:`~repro.analysis.backends.ExecutionBackend`: the
+default loopback mode spawns local worker processes (a drop-in upgrade over
+``"processes"``), and ``REPRO_CLUSTER_LISTEN=HOST:PORT`` switches to serving
+external workers instead.  See ``docs/distributed.md``.
+
+Because trial seeds are derived up front, results are bit-identical to
+``"serial"`` in item order no matter how chunks interleave, which worker
+computes them, or whether a dead worker's lease was requeued.
+"""
+
+from repro.analysis.cluster.backend import ClusterBackend
+from repro.analysis.cluster.coordinator import BatchOutcome, Coordinator
+from repro.analysis.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    decode_frame,
+    default_chunk_size,
+    encode_frame,
+    plan_chunks,
+)
+from repro.analysis.cluster.worker import run_worker
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ConnectionClosed",
+    "BatchOutcome",
+    "ClusterBackend",
+    "Coordinator",
+    "decode_frame",
+    "default_chunk_size",
+    "encode_frame",
+    "plan_chunks",
+    "run_worker",
+]

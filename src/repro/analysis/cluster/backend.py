@@ -1,0 +1,193 @@
+"""``ClusterBackend``: the work queue as a pluggable execution backend.
+
+Registered as ``"cluster"`` in :data:`~repro.analysis.backends.BACKENDS`
+(lazily -- see the autoload table there), so ``kecss experiment e1
+--workers 4 --backend cluster`` is a drop-in upgrade over ``"processes"``.
+Two modes:
+
+* **Loopback** (default): bind an ephemeral port on 127.0.0.1 and spawn
+  ``workers`` local worker processes.  Fork start method where available,
+  so functions defined anywhere in the driving process stay picklable by
+  reference.
+* **Attach** (``REPRO_CLUSTER_LISTEN=HOST:PORT``): bind the given address
+  and serve whatever external ``kecss worker --connect HOST:PORT``
+  processes register -- on this machine or others.  Workers may attach and
+  detach mid-sweep; the lease table absorbs both.
+
+The backend carries the engine's context-manager lifecycle: entered once
+(``with engine:``), the coordinator and its workers persist across every
+``run_jobs`` batch; un-entered ``map`` calls start and stop a transient
+cluster, matching the historical per-call-pool behaviour of the pool
+backends.  After each batch the coordinator's per-item worker attribution
+is copied onto ``TrialResult.worker`` as provenance, which flows into
+baselines and the trial store (``kecss history e3 --metric x --by worker``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+
+from repro.analysis.backends import register_backend
+from repro.analysis.cluster.coordinator import Coordinator
+from repro.analysis.cluster.worker import _worker_process_main
+from repro.analysis.runner import TrialResult
+
+__all__ = ["ClusterBackend", "listen_address_from_env"]
+
+#: Environment switch into attach mode: ``HOST:PORT`` to bind and serve
+#: external ``kecss worker`` processes instead of spawning loopback ones.
+LISTEN_ENV = "REPRO_CLUSTER_LISTEN"
+
+
+def listen_address_from_env() -> tuple[str, int] | None:
+    """Parse :data:`LISTEN_ENV` into ``(host, port)``; ``None`` when unset."""
+    raw = os.environ.get(LISTEN_ENV, "").strip()
+    if not raw:
+        return None
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"{LISTEN_ENV} expects HOST:PORT, got {raw!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"{LISTEN_ENV} has a non-numeric port: {raw!r}"
+        ) from None
+
+
+def _fork_context():
+    """Prefer fork so test- and script-local functions pickle by reference."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@register_backend("cluster")
+@dataclass
+class ClusterBackend:
+    """Socket work-queue backend with work stealing and lease fault tolerance.
+
+    Attributes:
+        workers: Loopback worker processes to spawn (ignored in attach mode,
+            where registered external workers set the real capacity, but
+            still used as the expected capacity for chunk planning).
+        listen: ``(host, port)`` to bind in attach mode; default
+            ``$REPRO_CLUSTER_LISTEN`` (unset: loopback on 127.0.0.1).
+        chunk_size: Items per lease; ``None`` applies
+            :func:`~repro.analysis.cluster.protocol.default_chunk_size`.
+        heartbeat_timeout: Seconds of worker silence before its leases
+            requeue (socket EOF is caught immediately regardless).
+    """
+
+    workers: int = 4
+    name: str = "cluster"
+    listen: tuple[str, int] | None = None
+    chunk_size: int | None = None
+    heartbeat_timeout: float = 10.0
+
+    # Runtime state, not configuration (class attributes, not dataclass
+    # fields, so construction stays cheap and side-effect free).
+    _coordinator = None
+    _processes = ()
+    _entered = False
+
+    def __post_init__(self) -> None:
+        self.workers = max(1, self.workers)
+        if self.listen is None:
+            self.listen = listen_address_from_env()
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def attached(self) -> bool:
+        """True in attach mode (external workers serve the queue)."""
+        return self.listen is not None
+
+    @property
+    def coordinator(self) -> Coordinator:
+        if self._coordinator is None:
+            raise RuntimeError("cluster backend is not started")
+        return self._coordinator
+
+    @property
+    def processes(self) -> tuple:
+        """The loopback worker processes (empty in attach mode)."""
+        return tuple(self._processes)
+
+    def _start(self) -> None:
+        if self._coordinator is not None:
+            return
+        host, port = self.listen if self.attached else ("127.0.0.1", 0)
+        self._coordinator = Coordinator(
+            host,
+            port,
+            expected_capacity=self.workers,
+            heartbeat_timeout=self.heartbeat_timeout,
+            # Loopback workers are our children: when they are all dead,
+            # nobody new will ever connect, so a stuck batch must fail.
+            # External workers may roll or reconnect, so attach mode waits.
+            abandon_when_no_workers=not self.attached,
+        ).start()
+        if not self.attached:
+            context = _fork_context()
+            bound_host, bound_port = self._coordinator.address
+            self._processes = [
+                context.Process(
+                    target=_worker_process_main,
+                    args=(bound_host, bound_port, f"w{index}"),
+                    name=f"kecss-cluster-w{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+            for process in self._processes:
+                process.start()
+
+    def _stop(self) -> None:
+        coordinator, self._coordinator = self._coordinator, None
+        processes, self._processes = self._processes, ()
+        if coordinator is not None:
+            coordinator.close()
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterBackend":
+        self._start()
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._entered = False
+        self._stop()
+
+    # ------------------------------------------------------------- execution
+    def map(self, function, items):
+        """Fan *items* out over the cluster; results come back in item order.
+
+        Outside a ``with`` block the cluster is transient (started and torn
+        down around this one call); entered, it persists across calls so
+        worker startup amortises over a whole engine sweep.
+        """
+        items = list(items)
+        if not items:
+            return []
+        self._start()
+        try:
+            outcome = self.coordinator.submit(
+                function, items, chunk_size=self.chunk_size
+            )
+        finally:
+            if not self._entered:
+                self._stop()
+        values = outcome.values
+        for index, value in enumerate(values):
+            # Provenance: which worker actually computed each trial.  Only
+            # TrialResult carries the field; plain mapped values pass through.
+            if isinstance(value, TrialResult) and outcome.worker_of[index]:
+                value.worker = outcome.worker_of[index]
+        return values

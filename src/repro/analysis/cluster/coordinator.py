@@ -1,0 +1,529 @@
+"""The work-queue coordinator: leases, heartbeats, stealing, requeue.
+
+One :class:`Coordinator` lives in the driving (engine) process.  It listens
+on a TCP socket, runs one thread per connected worker, and serves batches
+one at a time: :meth:`Coordinator.submit` splits a batch into contiguous
+chunks (:func:`~repro.analysis.cluster.protocol.plan_chunks`), hands each
+chunk out as a *lease* when a worker asks for work, and blocks until every
+item's result has streamed back.
+
+Fault tolerance is lease-based.  Results stream back **per item**, so the
+coordinator always knows which indices of a lease are still outstanding:
+
+* a worker that dies (socket EOF -- immediate) or goes silent past the
+  heartbeat timeout gets every unfinished index of its leases requeued at
+  the *front* of the queue;
+* a worker that drains the queue while peers still compute steals the back
+  half of the largest in-flight lease (the victim is not interrupted -- it
+  keeps working front-to-back, and whichever copy of a twice-computed item
+  lands first wins).
+
+Both mechanisms can only duplicate work, never lose or reorder it, and
+because every backend is bit-identical by construction (seeds are derived
+up front), a duplicated item's two results are byte-equal -- first-wins
+deduplication is safe.  Results therefore come back in item order, matching
+``"serial"`` exactly.
+
+Everything here is stdlib (``socket`` + ``threading``); see
+``docs/distributed.md`` for the wire protocol and a two-machine quickstart.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analysis.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    plan_chunks,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["BatchOutcome", "Coordinator"]
+
+
+@dataclass
+class BatchOutcome:
+    """One completed batch: item-ordered results plus per-item provenance.
+
+    ``worker_of[i]`` names the worker whose result for item ``i`` was
+    recorded (the first to report it, when stealing or a requeue duplicated
+    the work); the engine layer copies it onto ``TrialResult.worker``.
+    """
+
+    values: list
+    worker_of: list
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side state of one connected worker."""
+
+    name: str
+    pid: int
+    host: str
+    capacity: int
+    conn: socket.socket
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    last_seen: float = 0.0
+    alive: bool = True
+    completed: int = 0
+    leases: set = field(default_factory=set)
+
+
+@dataclass
+class _Lease:
+    """One chunk handed to one worker; ``indices`` shrink when stolen from."""
+
+    lease_id: int
+    worker: str
+    indices: list
+
+
+class Coordinator:
+    """Serves engine batches to registered workers over TCP.
+
+    Args:
+        host / port: Bind address; port 0 picks an ephemeral port (read the
+            actual one from :attr:`address` after :meth:`start`).
+        expected_capacity: Worker slots assumed for chunk planning when a
+            batch is submitted before any worker has registered (loopback
+            spawn races registration against ``submit``).
+        heartbeat_timeout: Seconds of silence after which a worker holding
+            leases is declared dead and its work requeued.  Socket EOF is
+            detected immediately; this only covers hung-but-connected peers.
+        abandon_when_no_workers: Fail a batch when every registered worker
+            has died and none remain.  Loopback mode sets this (its workers
+            are child processes; nobody new will connect), attach mode
+            leaves it off so a batch survives a rolling worker restart.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        expected_capacity: int = 1,
+        heartbeat_timeout: float = 10.0,
+        idle_delay: float = 0.2,
+        busy_delay: float = 0.02,
+        abandon_when_no_workers: bool = False,
+    ) -> None:
+        self._bind = (host, port)
+        self._expected_capacity = max(1, expected_capacity)
+        self._heartbeat_timeout = heartbeat_timeout
+        self._idle_delay = idle_delay
+        self._busy_delay = busy_delay
+        self._abandon = abandon_when_no_workers
+
+        self._lock = threading.Lock()
+        self._closed = False
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._threads: list[threading.Thread] = []
+        self._workers: dict[str, _Worker] = {}
+        self._seen_workers = 0
+        self._next_lease = 0
+        self._counters = {
+            "steals": 0,
+            "requeued": 0,
+            "duplicates": 0,
+            "dead_workers": 0,
+            "total_completed": 0,
+        }
+
+        # Per-batch state; ``_function is None`` means no batch in flight.
+        self._function = None
+        self._items: list = []
+        self._results: list = []
+        self._filled: list = []
+        self._worker_of: list = []
+        self._remaining = 0
+        self._queue: deque = deque()
+        self._leases: dict[int, _Lease] = {}
+        self._failure: str | None = None
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "Coordinator":
+        """Bind, listen, and spawn the accept + heartbeat-monitor threads."""
+        if self._listener is not None:
+            return self
+        self._listener = socket.create_server(self._bind)
+        self._address = self._listener.getsockname()[:2]
+        for target, label in ((self._accept_loop, "accept"), (self._monitor_loop, "monitor")):
+            thread = threading.Thread(
+                target=target, name=f"kecss-cluster-{label}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); raises until :meth:`start` has run."""
+        if self._address is None:
+            raise RuntimeError("coordinator is not started")
+        return self._address
+
+    def close(self) -> None:
+        """Broadcast shutdown to connected workers and stop listening."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = [w for w in self._workers.values() if w.alive]
+            self._done.set()  # unblock a submit stuck mid-batch
+        for worker in workers:
+            self._send(worker, {"type": "shutdown"})
+            self._close_conn(worker.conn)
+        if self._listener is not None:
+            self._close_conn(self._listener)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ batch API
+    def submit(self, function, items, chunk_size: int | None = None) -> BatchOutcome:
+        """Run one batch to completion; blocks until every result is back.
+
+        Results come back in item order.  Raises ``RuntimeError`` when a
+        worker reports an infrastructure failure (unpicklable frame, a
+        function that raised -- engine trials capture their own exceptions,
+        so a raise here is a bug, and it would repeat deterministically on
+        requeue) or when ``abandon_when_no_workers`` trips.
+        """
+        items = list(items)
+        if not items:
+            return BatchOutcome([], [])
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("coordinator is closed")
+            if self._function is not None:
+                raise RuntimeError("a batch is already in flight")
+            capacity = sum(w.capacity for w in self._workers.values() if w.alive)
+            capacity = max(capacity, self._expected_capacity)
+            self._function = function
+            self._items = items
+            self._results = [None] * len(items)
+            self._filled = [False] * len(items)
+            self._worker_of = [None] * len(items)
+            self._remaining = len(items)
+            self._failure = None
+            self._queue = deque(
+                list(range(start, stop))
+                for start, stop in plan_chunks(len(items), capacity, chunk_size)
+            )
+            self._leases.clear()
+            self._done.clear()
+        abandoned = 0
+        try:
+            while not self._done.wait(0.1):
+                with self._lock:
+                    if self._failure is not None or self._closed:
+                        break
+                    if (
+                        self._abandon
+                        and self._seen_workers
+                        and not any(w.alive for w in self._workers.values())
+                    ):
+                        abandoned = self._remaining
+                        break
+        finally:
+            with self._lock:
+                results = self._results
+                worker_of = self._worker_of
+                failure = self._failure
+                complete = self._remaining == 0
+                closed = self._closed
+                self._function = None
+                self._items = []
+                self._results = []
+                self._filled = []
+                self._worker_of = []
+                self._remaining = 0
+                self._queue.clear()
+                self._leases.clear()
+                for worker in self._workers.values():
+                    worker.leases.clear()
+        if failure is not None:
+            raise RuntimeError(
+                f"a cluster worker failed while computing the batch:\n{failure}"
+            )
+        if abandoned:
+            raise RuntimeError(
+                f"every cluster worker died with {abandoned} item(s) outstanding"
+            )
+        if closed and not complete:
+            raise RuntimeError("coordinator was closed mid-batch")
+        return BatchOutcome(results, worker_of)
+
+    def stats(self) -> dict:
+        """Counters and per-worker accounting (for tests, logs and docs)."""
+        with self._lock:
+            snapshot = dict(self._counters)
+            snapshot["workers"] = {
+                worker.name: {
+                    "alive": worker.alive,
+                    "pid": worker.pid,
+                    "host": worker.host,
+                    "capacity": worker.capacity,
+                    "completed": worker.completed,
+                }
+                for worker in self._workers.values()
+            }
+            snapshot["batch_remaining"] = (
+                self._remaining if self._function is not None else None
+            )
+            return snapshot
+
+    def live_workers(self) -> list[str]:
+        with self._lock:
+            return sorted(w.name for w in self._workers.values() if w.alive)
+
+    # --------------------------------------------------------------- threads
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve, args=(conn,),
+                name="kecss-cluster-conn", daemon=True,
+            )
+            thread.start()
+
+    def _monitor_loop(self) -> None:
+        """Declare silent workers dead so their leases requeue.
+
+        Socket EOF already catches killed processes instantly; this sweep
+        only matters for hung-but-connected peers, closing their socket so
+        the serve thread unblocks and retires them.
+        """
+        interval = min(0.25, self._heartbeat_timeout / 4)
+        while True:
+            time.sleep(interval)
+            with self._lock:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                stale = [
+                    worker
+                    for worker in self._workers.values()
+                    if worker.alive and now - worker.last_seen > self._heartbeat_timeout
+                ]
+            for worker in stale:
+                self._close_conn(worker.conn)
+
+    def _serve(self, conn: socket.socket) -> None:
+        """One worker connection: register handshake, then request/result loop."""
+        try:
+            hello = recv_frame(conn)
+        except (ConnectionClosed, OSError, pickle.UnpicklingError):
+            self._close_conn(conn)
+            return
+        if not isinstance(hello, dict) or hello.get("type") != "register":
+            self._close_conn(conn)
+            return
+        if hello.get("proto") != PROTOCOL_VERSION:
+            try:
+                send_frame(conn, {
+                    "type": "error",
+                    "error": f"protocol version mismatch: coordinator speaks "
+                             f"{PROTOCOL_VERSION}, worker {hello.get('proto')!r}",
+                })
+            except OSError:
+                pass
+            self._close_conn(conn)
+            return
+        worker = self._register(hello, conn)
+        try:
+            send_frame(conn, {"type": "welcome", "name": worker.name,
+                              "proto": PROTOCOL_VERSION})
+            while True:
+                message = recv_frame(conn)
+                if not isinstance(message, dict):
+                    continue
+                with self._lock:
+                    worker.last_seen = time.monotonic()
+                kind = message.get("type")
+                if kind == "request":
+                    with self._lock:
+                        reply = self._next_assignment(worker)
+                    self._send(worker, reply)
+                    if reply.get("type") == "shutdown":
+                        break
+                elif kind == "result":
+                    self._record_result(worker, message)
+                elif kind == "error":
+                    self._record_failure(message)
+                elif kind == "goodbye":
+                    break
+                # heartbeats only refresh last_seen, already done above
+        except (ConnectionClosed, OSError, pickle.UnpicklingError):
+            pass
+        finally:
+            self._retire(worker)
+
+    # ------------------------------------------------------------ scheduling
+    def _register(self, hello: dict, conn: socket.socket) -> _Worker:
+        base = str(hello.get("name") or f"worker-{hello.get('pid', 0)}")
+        with self._lock:
+            name, suffix = base, 1
+            while name in self._workers:
+                suffix += 1
+                name = f"{base}-{suffix}"
+            worker = _Worker(
+                name=name,
+                pid=int(hello.get("pid", 0)),
+                host=str(hello.get("host", "?")),
+                capacity=max(1, int(hello.get("capacity", 1))),
+                conn=conn,
+                last_seen=time.monotonic(),
+            )
+            self._workers[name] = worker
+            self._seen_workers += 1
+        return worker
+
+    def _next_assignment(self, worker: _Worker) -> dict:
+        """Pick the reply to a work request.  Caller holds the lock."""
+        if self._closed:
+            return {"type": "shutdown"}
+        if self._function is None or self._failure is not None:
+            return {"type": "wait", "delay": self._idle_delay}
+        if self._queue:
+            return self._lease_out(worker, self._queue.popleft())
+        stolen = self._steal_for(worker)
+        if stolen is not None:
+            return self._lease_out(worker, stolen)
+        return {"type": "wait", "delay": self._busy_delay}
+
+    def _steal_for(self, thief: _Worker) -> list | None:
+        """Split the largest in-flight lease's unfinished tail for *thief*.
+
+        The victim keeps computing its (now trimmed) lease front-to-back, so
+        stealing from the tail minimises doubly-computed items; duplicates
+        are byte-identical and deduplicated first-wins either way.  Caller
+        holds the lock.
+        """
+        victim: _Lease | None = None
+        victim_remaining: list = []
+        for lease in self._leases.values():
+            if lease.worker == thief.name:
+                continue
+            remaining = [i for i in lease.indices if not self._filled[i]]
+            if len(remaining) >= 2 and len(remaining) > len(victim_remaining):
+                victim, victim_remaining = lease, remaining
+        if victim is None:
+            return None
+        stolen = victim_remaining[len(victim_remaining) - len(victim_remaining) // 2:]
+        keep = set(victim.indices) - set(stolen)
+        victim.indices = [i for i in victim.indices if i in keep]
+        self._counters["steals"] += 1
+        return stolen
+
+    def _lease_out(self, worker: _Worker, indices: list) -> dict:
+        """Build the chunk reply for *indices*.  Caller holds the lock."""
+        self._next_lease += 1
+        lease = _Lease(self._next_lease, worker.name, list(indices))
+        self._leases[lease.lease_id] = lease
+        worker.leases.add(lease.lease_id)
+        return {
+            "type": "chunk",
+            "lease": lease.lease_id,
+            "indices": list(indices),
+            "items": [self._items[i] for i in indices],
+            "function": self._function,
+        }
+
+    def _record_result(self, worker: _Worker, message: dict) -> None:
+        with self._lock:
+            if self._function is None:
+                return
+            index = message.get("index")
+            if not isinstance(index, int) or not 0 <= index < len(self._results):
+                return
+            if self._filled[index]:
+                # A stolen or requeued item computed twice; results are
+                # bit-identical across workers, so first-wins is lossless.
+                self._counters["duplicates"] += 1
+            else:
+                self._results[index] = message.get("result")
+                self._filled[index] = True
+                self._worker_of[index] = worker.name
+                worker.completed += 1
+                self._counters["total_completed"] += 1
+                self._remaining -= 1
+                if self._remaining == 0:
+                    self._done.set()
+            lease = self._leases.get(message.get("lease"))
+            if lease is not None and all(self._filled[i] for i in lease.indices):
+                self._leases.pop(lease.lease_id, None)
+                owner = self._workers.get(lease.worker)
+                if owner is not None:
+                    owner.leases.discard(lease.lease_id)
+
+    def _record_failure(self, message: dict) -> None:
+        with self._lock:
+            if self._failure is None:
+                self._failure = str(message.get("error", "worker reported an error"))
+            self._done.set()
+
+    def _retire(self, worker: _Worker) -> None:
+        """Mark *worker* dead and requeue the unfinished part of its leases."""
+        with self._lock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            requeued = 0
+            for lease_id in sorted(worker.leases):
+                lease = self._leases.pop(lease_id, None)
+                if lease is None or self._function is None:
+                    continue
+                remaining = [i for i in lease.indices if not self._filled[i]]
+                if remaining:
+                    # Front of the queue: a died-with lease is the oldest
+                    # outstanding work, so it should not wait behind the tail.
+                    self._queue.appendleft(remaining)
+                    requeued += len(remaining)
+            worker.leases.clear()
+            self._counters["requeued"] += requeued
+            if not self._closed:
+                self._counters["dead_workers"] += 1
+        self._close_conn(worker.conn)
+
+    # --------------------------------------------------------------- helpers
+    def _send(self, worker: _Worker, message: dict) -> None:
+        """Best-effort framed send; a dead socket is the serve loop's problem."""
+        try:
+            with worker.send_lock:
+                send_frame(worker.conn, message)
+        except OSError:
+            self._close_conn(worker.conn)
+
+    @staticmethod
+    def _close_conn(conn: socket.socket) -> None:
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass

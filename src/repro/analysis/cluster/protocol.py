@@ -1,0 +1,143 @@
+"""Wire protocol of the cluster work queue: framing and chunk planning.
+
+Messages are plain dicts with a ``"type"`` key, pickled and prefixed with an
+8-byte big-endian length so a stream reader always knows how many bytes the
+next message occupies.  Pickle keeps the protocol dependency-free and lets
+job frames carry exactly what the engine already fans out over the
+``"processes"`` backend (a ``partial(_execute_trial, trial)`` plus
+:class:`~repro.analysis.engine.TrialJob` items) -- which also means the
+protocol inherits pickle's trust model: **only run coordinators and workers
+on networks you control** (see ``docs/distributed.md``).
+
+Message shapes (worker ``->`` coordinator unless noted):
+
+* ``register``: ``name`` / ``pid`` / ``host`` / ``capacity`` / ``proto``
+* ``welcome`` (coordinator): the final (de-duplicated) worker ``name``
+* ``request``: the worker is idle and wants a chunk
+* ``chunk`` (coordinator): ``lease`` id, global ``indices``, the pickled
+  ``items`` and the ``function`` to map over them
+* ``wait`` (coordinator): no work right now; retry after ``delay`` seconds
+* ``result``: ``lease`` id, one global ``index``, its computed ``result``
+  (results stream back per item so a lease can be split mid-flight)
+* ``error``: ``index`` plus the formatted traceback of an infrastructure
+  failure (trial-level failures are data -- ``TrialResult.error`` -- and
+  travel as ordinary results)
+* ``heartbeat``: liveness while computing a long chunk
+* ``shutdown`` (coordinator): drain and exit
+
+Chunk planning lives here too because it is a wire-format concern: one
+frame per *item* would drown sub-millisecond trials in framing overhead,
+while one frame per *worker* would leave nothing for idle peers to steal.
+:func:`plan_chunks` aims for several leases per worker, capped so huge
+sweeps still amortize the per-frame cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ConnectionClosed",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+    "default_chunk_size",
+    "plan_chunks",
+]
+
+#: Bumped on incompatible message-shape changes; ``register``/``welcome``
+#: carry it so mismatched peers fail with a message instead of a mis-parse.
+PROTOCOL_VERSION = 1
+
+#: 8-byte big-endian unsigned frame length (the pickled payload size).
+_HEADER = struct.Struct(">Q")
+
+#: Leases a worker's share of a batch is split into (stealable granularity).
+_TARGET_LEASES_PER_WORKER = 4
+
+#: Ceiling on items per chunk, so one lease never monopolises a small sweep.
+_MAX_CHUNK = 64
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the socket (cleanly or mid-frame)."""
+
+
+def encode_frame(message: object) -> bytes:
+    """One message as its on-wire bytes: length header + pickled payload."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> object:
+    """Invert :func:`encode_frame`; rejects truncated or oversized buffers."""
+    if len(data) < _HEADER.size:
+        raise ConnectionClosed(
+            f"frame truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    (length,) = _HEADER.unpack_from(data)
+    if len(data) != _HEADER.size + length:
+        raise ConnectionClosed(
+            f"frame length mismatch: header says {length} payload bytes, "
+            f"buffer holds {len(data) - _HEADER.size}"
+        )
+    return pickle.loads(data[_HEADER.size:])
+
+
+def send_frame(sock, message: object) -> None:
+    """Write one framed message to *sock* (callers serialise concurrent sends)."""
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {count} "
+                f"bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> object:
+    """Read one framed message from *sock*; :class:`ConnectionClosed` on EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def default_chunk_size(n_items: int, capacity: int) -> int:
+    """Items per chunk for a batch of *n_items* over *capacity* worker slots.
+
+    Aims for :data:`_TARGET_LEASES_PER_WORKER` leases per slot so a worker
+    that drains early always finds an in-flight tail to steal, while the
+    ceiling division keeps sub-millisecond trials batched enough that frame
+    overhead stays negligible.  Capped at :data:`_MAX_CHUNK` items and never
+    below 1.
+    """
+    slots = max(1, capacity) * _TARGET_LEASES_PER_WORKER
+    return max(1, min(_MAX_CHUNK, -(-max(0, n_items) // slots)))
+
+
+def plan_chunks(n_items: int, capacity: int, chunk_size: int | None = None) -> list[tuple[int, int]]:
+    """Split ``range(n_items)`` into contiguous ``(start, stop)`` chunks.
+
+    The plan covers every index exactly once, in order; *chunk_size* pins
+    the size explicitly (the last chunk may be shorter), ``None`` applies
+    :func:`default_chunk_size`.
+    """
+    if n_items <= 0:
+        return []
+    size = chunk_size if chunk_size is not None else default_chunk_size(n_items, capacity)
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    return [(start, min(start + size, n_items)) for start in range(0, n_items, size)]

@@ -1,0 +1,162 @@
+"""The cluster worker loop: register, lease, compute, stream, heartbeat.
+
+:func:`run_worker` is the whole worker: connect (with retries, so workers
+started before the coordinator binds -- the normal CI race -- still attach),
+register over the socket, then loop requesting chunks and streaming one
+``result`` frame per computed item.  A heartbeat thread keeps the
+coordinator's liveness stamp fresh while a long chunk computes; the main
+thread and the heartbeat thread share the socket under a send lock.
+
+Per-item streaming is what makes the coordinator's fault tolerance and work
+stealing cheap: the coordinator always knows exactly which indices of a
+lease are outstanding, so a death requeues only the unfinished tail and a
+steal never duplicates already-reported items.
+
+The loop exits cleanly on a ``shutdown`` frame or when the coordinator's
+socket closes, so ``kecss worker`` processes drain and exit when the
+driving engine finishes.  :func:`_worker_process_main` is the top-level
+(hence picklable under any multiprocessing start method) entry point
+loopback mode spawns.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+
+from repro.analysis.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["run_worker"]
+
+
+def _connect(host: str, port: int, timeout: float) -> socket.socket:
+    """Dial the coordinator, retrying until *timeout* seconds have passed.
+
+    Retrying absorbs the startup race where workers launch before the
+    coordinator binds (the CI smoke step backgrounds the workers first).
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            conn = socket.create_connection((host, port), timeout=10.0)
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return conn
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    name: str | None = None,
+    capacity: int = 1,
+    heartbeat_interval: float = 2.0,
+    connect_timeout: float = 30.0,
+) -> dict:
+    """Serve one coordinator until it shuts down; returns ``{name, computed}``.
+
+    Raises ``OSError`` when the coordinator cannot be reached within
+    *connect_timeout* seconds.  Everything after a successful registration
+    is graceful: a vanished coordinator ends the loop instead of raising.
+    """
+    conn = _connect(host, port, connect_timeout)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    computed = 0
+
+    def _send(message: dict) -> None:
+        with send_lock:
+            send_frame(conn, message)
+
+    try:
+        _send({
+            "type": "register",
+            "proto": PROTOCOL_VERSION,
+            "name": name,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "capacity": max(1, capacity),
+        })
+        welcome = recv_frame(conn)
+        if not isinstance(welcome, dict) or welcome.get("type") != "welcome":
+            detail = welcome.get("error") if isinstance(welcome, dict) else welcome
+            raise ConnectionClosed(f"coordinator rejected registration: {detail!r}")
+        final_name = str(welcome.get("name") or name or "worker")
+
+        def _heartbeat_loop() -> None:
+            while not stop.wait(heartbeat_interval):
+                try:
+                    _send({"type": "heartbeat"})
+                except OSError:
+                    return
+
+        heartbeat = threading.Thread(
+            target=_heartbeat_loop, name=f"kecss-worker-heartbeat-{final_name}",
+            daemon=True,
+        )
+        heartbeat.start()
+
+        while True:
+            _send({"type": "request"})
+            message = recv_frame(conn)
+            if not isinstance(message, dict):
+                continue
+            kind = message.get("type")
+            if kind == "chunk":
+                function = message["function"]
+                lease = message["lease"]
+                for index, item in zip(message["indices"], message["items"]):
+                    try:
+                        result = function(item)
+                    except BaseException:  # noqa: BLE001 -- relayed, not hidden
+                        # Engine trials capture their own exceptions into
+                        # TrialResult.error; a raise here is an infrastructure
+                        # failure the coordinator must surface, not retry.
+                        _send({
+                            "type": "error",
+                            "lease": lease,
+                            "index": index,
+                            "error": traceback.format_exc(),
+                        })
+                        break
+                    _send({
+                        "type": "result",
+                        "lease": lease,
+                        "index": index,
+                        "result": result,
+                    })
+                    computed += 1
+            elif kind == "wait":
+                time.sleep(float(message.get("delay", 0.05)))
+            elif kind == "shutdown":
+                break
+        return {"name": final_name, "computed": computed}
+    except (ConnectionClosed, OSError):
+        # The coordinator went away; a worker has nothing left to serve.
+        return {"name": name or "worker", "computed": computed}
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _worker_process_main(host: str, port: int, name: str) -> None:
+    """Loopback-mode child-process entry point (top level, so it pickles)."""
+    try:
+        run_worker(host, port, name=name, connect_timeout=10.0)
+    except (ConnectionClosed, OSError):
+        pass

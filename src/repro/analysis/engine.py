@@ -190,6 +190,13 @@ class ExperimentEngine:
             recorders and result stores (:mod:`repro.store`) attach to
             without subclassing the execution path; observers run in the
             driving process regardless of backend.
+
+    The engine is also a context manager: ``with engine:`` resolves the
+    backend once and enters it (when it supports a lifecycle), so one
+    executor pool or one cluster of workers persists across every
+    ``run_jobs`` batch instead of being rebuilt per call.  Outside a
+    ``with`` block nothing changes: backends acquire and release their
+    resources per ``map``, exactly as before.
     """
 
     workers: int = 1
@@ -203,6 +210,35 @@ class ExperimentEngine:
     observers: list[Callable[["TrialJob", TrialResult], None]] = field(
         default_factory=list
     )
+
+    # Runtime backend state (class attributes, not dataclass fields: they
+    # are lifecycle bookkeeping, not configuration).
+    _resolved_backend = None
+    _entered_backend = None
+
+    # ------------------------------------------------------------- lifecycle
+    def _backend_instance(self) -> ExecutionBackend:
+        """Resolve ``self.backend`` once and reuse the instance thereafter."""
+        if self._resolved_backend is None:
+            self._resolved_backend = resolve_backend(self.backend, self.workers)
+        return self._resolved_backend
+
+    def __enter__(self) -> "ExperimentEngine":
+        backend = self._backend_instance()
+        enter = getattr(type(backend), "__enter__", None)
+        if enter is not None and self._entered_backend is None:
+            backend.__enter__()
+            self._entered_backend = backend
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        backend, self._entered_backend = self._entered_backend, None
+        if backend is not None:
+            backend.__exit__(exc_type, exc, tb)
+
+    def close(self) -> None:
+        """Release the entered backend's resources (alias for ``__exit__``)."""
+        self.__exit__(None, None, None)
 
     # ---------------------------------------------------------------- caching
     @property
@@ -330,7 +366,7 @@ class ExperimentEngine:
         self.stats["executed"] += len(pending)
 
         if pending:
-            backend = resolve_backend(self.backend, self.workers)
+            backend = self._backend_instance()
             executed = backend.map(
                 partial(_execute_trial, trial), [job for _, job in pending]
             )
@@ -382,7 +418,7 @@ class ExperimentEngine:
     # ------------------------------------------------------------- reporting
     def summary(self) -> str:
         """One-line account of cache hits, executed trials and failures."""
-        backend = resolve_backend(self.backend, self.workers)
+        backend = self._backend_instance()
         mode = f"backend={backend.name}, workers={self.workers}"
         cache = (
             f"cache={Path(self.cache_dir)}" if self.caching else "cache=off"

@@ -62,6 +62,11 @@ class TrialResult:
             replays restore the persisted compute duration; use ``cached`` to
             distinguish replay time from compute time.
         cached: ``True`` when the result was replayed from the on-disk cache.
+        worker: Provenance: the name of the cluster worker that computed
+            this trial (``None`` for in-process backends and cache replays).
+            Never part of the result's identity -- backends are
+            bit-identical on (config, seed, metrics) regardless of which
+            worker ran what.
     """
 
     config: Mapping[str, object]
@@ -71,6 +76,7 @@ class TrialResult:
     index: int = 0
     duration: float = 0.0
     cached: bool = False
+    worker: str | None = None
 
     @property
     def ok(self) -> bool:

@@ -1,11 +1,13 @@
 """Command line interface: ``kecss solve | verify | experiment | bench | cache |
-families | history | regress | store | lint``.
+families | history | regress | store | worker | lint``.
 
 Examples::
 
     kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
     kecss experiment e3
     kecss experiment e1 --workers 4 --backend threads --cache-dir .repro-cache
+    kecss experiment e1 --workers 4 --backend cluster  # loopback work queue
+    kecss worker --connect 10.0.0.5:7781             # serve a remote engine
     kecss bench e2 --out BENCH_e2.json
     kecss bench all --out-dir baselines --workers 4
     kecss bench e6 --against BENCH_e6.json
@@ -13,6 +15,7 @@ Examples::
     kecss store import BENCH_e3.json BENCH_e9.json --store-dir .repro-store
     kecss store ls --store-dir .repro-store
     kecss history e3 --store-dir .repro-store
+    kecss history e3 --metric ratio --by family      # per-configuration drill-down
     kecss regress e3 --store-dir .repro-store --tolerance 0.0
     kecss cache stats --cache-dir .repro-cache
     kecss cache gc --cache-dir .repro-cache
@@ -24,10 +27,13 @@ Examples::
 The ``experiment`` subcommand runs through the parallel cached
 :class:`~repro.analysis.engine.ExperimentEngine`: ``--workers N`` fans trials
 out over N workers on the execution backend picked with ``--backend``
-(``serial`` | ``threads`` | ``processes``; aggregates are bit-identical on
-every backend), ``--cache-dir`` persists per-trial results so re-runs and
-partially failed sweeps resume from disk, and ``--no-cache`` forces
-recomputation.
+(``serial`` | ``threads`` | ``processes`` | ``cluster``; aggregates are
+bit-identical on every backend), ``--cache-dir`` persists per-trial results
+so re-runs and partially failed sweeps resume from disk, and ``--no-cache``
+forces recomputation.  The ``cluster`` backend spawns loopback worker
+processes by default; with ``REPRO_CLUSTER_LISTEN=HOST:PORT`` set it serves
+external ``kecss worker --connect HOST:PORT`` processes instead -- on this
+machine or others (see ``docs/distributed.md``).
 
 The ``bench`` subcommand runs the same experiment entrypoints through the
 engine and persists machine-readable ``BENCH_<experiment>.json`` baselines
@@ -72,7 +78,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import experiments as experiment_module
-from repro.analysis.backends import BACKENDS
+from repro.analysis.backends import available_backends
 from repro.analysis.engine import (
     ExperimentEngine,
     cache_clear,
@@ -129,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--markdown", action="store_true", help="emit Markdown tables")
     experiment.add_argument("--workers", type=int, default=1,
                             help="worker count for trial fan-out (default: 1, serial)")
-    experiment.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+    experiment.add_argument("--backend", default=None, choices=available_backends(),
                             help="execution backend (default: serial for 1 worker, "
                                  "processes otherwise)")
     experiment.add_argument("--cache-dir", default=None,
@@ -157,7 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "and exit non-zero on drift (single id only)")
     bench.add_argument("--workers", type=int, default=1,
                        help="worker count for trial fan-out (default: 1, serial)")
-    bench.add_argument("--backend", default=None, choices=sorted(BACKENDS),
+    bench.add_argument("--backend", default=None, choices=available_backends(),
                        help="execution backend (default: serial for 1 worker, "
                             "processes otherwise)")
     bench.add_argument("--cache-dir", default=None,
@@ -178,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="the trial store to read (default: $REPRO_STORE_DIR)")
     history.add_argument("--markdown", action="store_true",
                          help="emit a Markdown table")
+    history.add_argument("--metric", default=None, metavar="NAME",
+                         help="drill into one metric (count/mean/min/max per "
+                              "code version) instead of the pooled trend")
+    history.add_argument("--by", default=None, metavar="KEY",
+                         help="group the --metric drill-down by a per-trial "
+                              "column: a config key like 'family', or a bare "
+                              "column like 'worker' or 'seed'")
 
     regress = subparsers.add_parser(
         "regress",
@@ -206,6 +219,24 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--store-dir", default=None,
                        help="the trial store to operate on "
                             "(default: $REPRO_STORE_DIR)")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="serve a cluster coordinator: lease trial chunks, compute, "
+             "stream results back (see docs/distributed.md)",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator to register with (the engine "
+                             "process running with REPRO_CLUSTER_LISTEN set)")
+    worker.add_argument("--name", default=None,
+                        help="worker name recorded as per-trial provenance "
+                             "(default: <hostname>-<pid>)")
+    worker.add_argument("--capacity", type=int, default=1,
+                        help="advertised worker slots, weighing chunk "
+                             "planning toward bigger leases (default: 1)")
+    worker.add_argument("--connect-timeout", type=float, default=30.0,
+                        help="seconds to keep retrying the initial connect "
+                             "(default: 30; workers may start first)")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clean the on-disk trial cache"
@@ -358,35 +389,31 @@ def _experiment(args: argparse.Namespace) -> int:
         store = None
         engine = ExperimentEngine(**engine_kwargs)
     ids = list(_EXPERIMENTS) if experiment_id == "all" else [experiment_id]
-    for eid in ids:
-        start = len(getattr(engine, "recorded", ()))
-        created = time.time()
-        table = _EXPERIMENTS[eid](engine=engine)
-        print(table.to_markdown() if args.markdown else table.to_text())
-        print()
-        if store is not None:
-            info = store.ingest(
-                eid,
-                [trial_payload(j, r) for j, r in engine.recorded[start:]],
-                created_unix=created,
-                table=table_payload(table),
-                provenance=engine_provenance(engine, eid),
-                source="kecss experiment",
-            )
-            print(f"{eid}: stored {info.run_id} in {store_dir}", file=sys.stderr)
+    # Entering the engine keeps one backend alive (executor pool, cluster
+    # workers) across every experiment instead of rebuilding it per batch.
+    with engine:
+        for eid in ids:
+            start = len(getattr(engine, "recorded", ()))
+            created = time.time()
+            table = _EXPERIMENTS[eid](engine=engine)
+            print(table.to_markdown() if args.markdown else table.to_text())
+            print()
+            if store is not None:
+                info = store.ingest(
+                    eid,
+                    [trial_payload(j, r) for j, r in engine.recorded[start:]],
+                    created_unix=created,
+                    table=table_payload(table),
+                    provenance=engine_provenance(engine, eid),
+                    source="kecss experiment",
+                )
+                print(f"{eid}: stored {info.run_id} in {store_dir}", file=sys.stderr)
     print(engine.summary(), file=sys.stderr)
     return 0
 
 
 def _bench(args: argparse.Namespace) -> int:
-    from repro.analysis.bench import (
-        RecordingEngine,
-        baseline_path,
-        build_baseline,
-        compare_tables,
-        validate_baseline,
-        write_baseline,
-    )
+    from repro.analysis.bench import RecordingEngine
 
     ids = sorted(_EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     if args.out is not None and len(ids) != 1:
@@ -414,57 +441,75 @@ def _bench(args: argparse.Namespace) -> int:
     if store_dir is not None and not args.dry_run:
         store = _open_store(store_dir, create=True)
     exit_code = 0
-    for experiment_id in ids:
-        payload = build_baseline(experiment_id, engine=engine)
-        problems = validate_baseline(payload)
-        if problems:
-            raise SystemExit(
-                f"internal error: {experiment_id} baseline failed its own schema "
-                f"check: {'; '.join(problems)}"
-            )
-        if args.against is not None:
-            try:
-                stored = json.loads(Path(args.against).read_text())
-            except (OSError, ValueError) as exc:
-                raise SystemExit(f"cannot read baseline {args.against!r}: {exc}")
-            from repro.analysis.tables import Table
-
-            fresh = Table(
-                title=payload["table"]["title"],
-                columns=payload["table"]["columns"],
-                rows=[tuple(row) for row in payload["table"]["rows"]],
-            )
-            mismatches = compare_tables(stored, fresh)
-            if mismatches:
-                exit_code = 1
-                print(f"{experiment_id}: aggregates drifted from {args.against}:")
-                for line in mismatches:
-                    print(f"  {line}")
-            else:
-                print(f"{experiment_id}: aggregates match {args.against}")
-        if store is not None:
-            from repro.store import StoreError, import_baseline
-
-            try:
-                info = import_baseline(store, payload, source="kecss bench")
-            except StoreError as exc:
-                raise SystemExit(str(exc))
-            print(f"{experiment_id}: stored {info.run_id} in {store_dir}")
-        if args.dry_run:
-            print(json.dumps(payload, indent=2, sort_keys=True))
-        elif args.against is None:
-            path = Path(args.out) if args.out else baseline_path(
-                experiment_id, args.out_dir
-            )
-            write_baseline(payload, path)
-            summary = payload["summary"]
-            print(
-                f"{experiment_id}: wrote {path} "
-                f"({summary['trial_count']} trials, "
-                f"{summary['wall_seconds']:.3f}s wall, "
-                f"{summary['cached_trials']} cached)"
+    # Entering the engine keeps one backend alive (executor pool, cluster
+    # workers) across every benchmarked experiment.
+    with engine:
+        for experiment_id in ids:
+            exit_code = max(
+                exit_code, _bench_one(args, engine, experiment_id, store, store_dir)
             )
     print(engine.summary(), file=sys.stderr)
+    return exit_code
+
+
+def _bench_one(args, engine, experiment_id, store, store_dir) -> int:
+    """Benchmark one experiment on an already-entered engine."""
+    from repro.analysis.bench import (
+        baseline_path,
+        build_baseline,
+        compare_tables,
+        validate_baseline,
+        write_baseline,
+    )
+
+    exit_code = 0
+    payload = build_baseline(experiment_id, engine=engine)
+    problems = validate_baseline(payload)
+    if problems:
+        raise SystemExit(
+            f"internal error: {experiment_id} baseline failed its own schema "
+            f"check: {'; '.join(problems)}"
+        )
+    if args.against is not None:
+        try:
+            stored = json.loads(Path(args.against).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read baseline {args.against!r}: {exc}")
+        fresh = Table(
+            title=payload["table"]["title"],
+            columns=payload["table"]["columns"],
+            rows=[tuple(row) for row in payload["table"]["rows"]],
+        )
+        mismatches = compare_tables(stored, fresh)
+        if mismatches:
+            exit_code = 1
+            print(f"{experiment_id}: aggregates drifted from {args.against}:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"{experiment_id}: aggregates match {args.against}")
+    if store is not None:
+        from repro.store import StoreError, import_baseline
+
+        try:
+            info = import_baseline(store, payload, source="kecss bench")
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        print(f"{experiment_id}: stored {info.run_id} in {store_dir}")
+    if args.dry_run:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.against is None:
+        path = Path(args.out) if args.out else baseline_path(
+            experiment_id, args.out_dir
+        )
+        write_baseline(payload, path)
+        summary = payload["summary"]
+        print(
+            f"{experiment_id}: wrote {path} "
+            f"({summary['trial_count']} trials, "
+            f"{summary['wall_seconds']:.3f}s wall, "
+            f"{summary['cached_trials']} cached)"
+        )
     return exit_code
 
 
@@ -504,15 +549,51 @@ def _cache(args: argparse.Namespace) -> int:
 
 
 def _history(args: argparse.Namespace) -> int:
-    from repro.store import StoreError, history_table
+    from repro.store import StoreError, history_drilldown, history_table
 
+    if args.by is not None and args.metric is None:
+        raise SystemExit("--by requires --metric (the metric to drill into)")
     store = _open_store(_store_dir_from(args, required=True), create=False)
     try:
-        table = history_table(store, args.experiment_id)
+        if args.metric is not None:
+            table = history_drilldown(
+                store, args.experiment_id, args.metric, by=args.by
+            )
+        else:
+            table = history_table(store, args.experiment_id)
     except StoreError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     print(table.to_markdown() if args.markdown else table.to_text())
+    return 0
+
+
+def _worker(args: argparse.Namespace) -> int:
+    from repro.analysis.cluster.worker import run_worker
+
+    host, sep, port_text = args.connect.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--connect expects HOST:PORT, got {args.connect!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise SystemExit(
+            f"--connect has a non-numeric port: {args.connect!r}"
+        ) from None
+    try:
+        stats = run_worker(
+            host,
+            port,
+            name=args.name,
+            capacity=args.capacity,
+            connect_timeout=args.connect_timeout,
+        )
+    except OSError as exc:
+        print(f"worker: cannot reach coordinator at {args.connect}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"worker {stats['name']}: computed {stats['computed']} item(s)",
+          file=sys.stderr)
     return 0
 
 
@@ -692,6 +773,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "history": _history,
         "regress": _regress,
         "store": _store_cmd,
+        "worker": _worker,
         "lint": _lint,
     }
     return handlers[args.command](args)

@@ -21,6 +21,7 @@ from repro.store.importer import import_baseline, import_baseline_file
 from repro.store.regression import (
     compare_tables_with_tolerance,
     duration_stats,
+    history_drilldown,
     history_table,
     metric_means,
     pick_baseline_run,
@@ -54,6 +55,7 @@ __all__ = [
     "compare_tables_with_tolerance",
     "duration_stats",
     "git_describe",
+    "history_drilldown",
     "history_table",
     "import_baseline",
     "import_baseline_file",

@@ -7,7 +7,11 @@ Two consumers sit on top of :class:`~repro.store.store.TrialStore`:
   tabulates per-version aggregates: run/trial counts, pooled duration
   statistics and the mean of every numeric metric column.  This is the
   perf/correctness trajectory across commits that isolated
-  ``BENCH_*.json`` snapshots cannot show.
+  ``BENCH_*.json`` snapshots cannot show.  ``kecss history <exp> --metric X
+  [--by KEY]`` switches to :func:`history_drilldown`, which follows one
+  metric and -- instead of pooling whole runs -- groups the pooled trials
+  by a per-trial column: a configuration key (``--by family``), or a bare
+  column such as the cluster backend's ``worker`` provenance.
 
 * ``kecss regress <exp>`` -- :func:`regress` compares the **latest** stored
   run against the most recent run of a *different* code version (falling
@@ -40,6 +44,7 @@ __all__ = [
     "duration_stats",
     "metric_means",
     "history_table",
+    "history_drilldown",
     "pick_baseline_run",
     "compare_tables_with_tolerance",
     "regress",
@@ -148,6 +153,113 @@ def history_table(store: TrialStore, experiment: str) -> Table:
     table.add_note(
         "one row per code version, oldest first; duration stats and metric "
         "means pool every stored run of that version"
+    )
+    return table
+
+
+def history_drilldown(
+    store: TrialStore, experiment: str, metric: str, by: str | None = None
+) -> Table:
+    """Follow one metric across code versions, grouped by a per-trial column.
+
+    Where :func:`history_table` pools whole runs, this splits each code
+    version's pooled trials by *by* -- resolved as a stored column name
+    first (``"worker"``, ``"seed"``), then as ``config.<by>`` (so ``--by
+    family`` works without the prefix) -- and reports per-group count /
+    mean / min / max of *metric*.  ``by=None`` degenerates to a per-version
+    trend of the single metric.
+
+    Trials that do not record the metric (or record a non-numeric value)
+    are excluded from the aggregates but the group row still shows how many
+    trials *did* carry it, so sparse metrics cannot masquerade as dense.
+    """
+    runs = store.runs(experiment)
+    if not runs:
+        raise StoreError(
+            f"no stored runs for experiment {experiment!r} in {store.root}"
+        )
+    metric_column = metric if metric.startswith("metrics.") else f"metrics.{metric}"
+    by_version: dict[str, list[RunInfo]] = {}
+    for info in runs:  # first-ingested order, preserved by dict insertion
+        by_version.setdefault(info.code_version, []).append(info)
+    run_columns = {info.run_id: store.columns(info) for info in runs}
+    all_names = {name for columns in run_columns.values() for name in columns}
+
+    if metric_column not in all_names:
+        known = sorted(
+            name[len("metrics."):]
+            for name in all_names
+            if name.startswith("metrics.")
+        )
+        raise StoreError(
+            f"metric {metric!r} is not recorded by any stored run of "
+            f"{experiment!r}; known metrics: {known}"
+        )
+    group_column: str | None = None
+    if by is not None:
+        for candidate in (by, f"config.{by}"):
+            if candidate in all_names:
+                group_column = candidate
+                break
+        if group_column is None:
+            groupable = sorted(
+                name for name in all_names if not name.startswith("metrics.")
+            )
+            raise StoreError(
+                f"cannot group by {by!r}: no stored column {by!r} or "
+                f"'config.{by}'; groupable columns: {groupable}"
+            )
+
+    header = ["code version"]
+    if by is not None:
+        header.append(by)
+    header += ["trials", f"mean {metric}", f"min {metric}", f"max {metric}"]
+    grouped_title = f" by {by}" if by is not None else ""
+    table = Table(
+        title=f"history: {experiment} metric {metric}{grouped_title} "
+              f"({len(runs)} runs, {len(by_version)} code versions)",
+        columns=header,
+    )
+    for version, infos in by_version.items():
+        keys: list = []
+        values: list = []
+        for info in infos:
+            columns = run_columns[info.run_id]
+            # Core columns are dense, so "seed" measures the run's row count;
+            # sparse columns (the metric in an older run, "worker" in a
+            # serial run) are None-padded to keep rows aligned.
+            rows = len(columns.get("seed", []))
+            metric_values = columns.get(metric_column)
+            values.extend(
+                metric_values
+                if isinstance(metric_values, list) and len(metric_values) == rows
+                else [None] * rows
+            )
+            if group_column is None:
+                keys.extend([None] * rows)
+            else:
+                group_keys = columns.get(group_column)
+                keys.extend(
+                    group_keys
+                    if isinstance(group_keys, list) and len(group_keys) == rows
+                    else [None] * rows
+                )
+        groups: dict = {}
+        for key, value in zip(keys, values):
+            groups.setdefault(key, []).append(value)
+        for key in sorted(groups, key=repr):
+            numeric = [v for v in groups[key] if _is_number(v)]
+            row: list = [version]
+            if by is not None:
+                row.append("-" if key is None else key)
+            if numeric:
+                row += [len(numeric), fmean(numeric), min(numeric), max(numeric)]
+            else:
+                row += [0, "", "", ""]
+            table.add_row(*row)
+    table.add_note(
+        "one row per (code version, group), versions oldest first; trials "
+        "counts only the trials that recorded the metric numerically"
     )
     return table
 

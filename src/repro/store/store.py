@@ -15,8 +15,9 @@ store is a directory of *run segments*::
 
 Each ingested batch becomes one immutable segment: core columns (``seed``,
 ``index``, ``duration``, ``cached``), one ``config.<key>`` column per
-configuration key, one ``metrics.<key>`` column per metric, and an ``error``
-column only when a trial actually failed.  Dtypes are inferred per column
+configuration key, one ``metrics.<key>`` column per metric, an ``error``
+column only when a trial actually failed, and a ``worker`` provenance column
+only when a cluster worker computed some trial.  Dtypes are inferred per column
 (see :mod:`repro.store.columns`), so reading a run back yields exactly the
 values ingested -- the property the bit-identical aggregate checks rely on.
 
@@ -174,7 +175,9 @@ def _trial_columns(trials: Sequence[Mapping]) -> dict[str, list]:
 
     Config and metric keys are the union over the batch; trials missing a key
     contribute ``None`` (which forces the column to the lossless ``json``
-    dtype).  The ``error`` column is emitted only when some trial failed.
+    dtype).  The ``error`` column is emitted only when some trial failed, and
+    the ``worker`` provenance column only when some trial was computed by a
+    named cluster worker.
     """
     for i, trial in enumerate(trials):
         if not isinstance(trial, Mapping) or not _REQUIRED_TRIAL_KEYS <= set(trial):
@@ -203,6 +206,11 @@ def _trial_columns(trials: Sequence[Mapping]) -> dict[str, list]:
         columns[f"metrics.{key}"] = [t["metrics"].get(key) for t in trials]
     if any(t.get("error") is not None for t in trials):
         columns["error"] = [t.get("error") for t in trials]
+    if any(t.get("worker") is not None for t in trials):
+        # Cluster-backend provenance: which worker computed each trial.
+        # Sparse like ``error`` so runs from in-process backends (and
+        # imported historical baselines) keep their exact column set.
+        columns["worker"] = [t.get("worker") for t in trials]
     return columns
 
 

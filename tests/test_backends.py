@@ -1,14 +1,18 @@
 """Tests for the pluggable execution backends and the content-hash cache
 lifecycle.
 
-Covers the backend registry (lookup, errors, third-party registration), the
-determinism guarantee (serial == threads == processes on golden seeds, both
-for synthetic trials and for a real experiment table), the solver-module
-derived code versions, and ``cache gc`` evicting exactly the stale-version
-entries.
+Covers the backend registry (lookup, errors, third-party registration, the
+lazy ``cluster`` autoload), the determinism guarantee (serial == threads ==
+processes == cluster on golden seeds, both for synthetic trials and for a
+real experiment table), the pooled-executor lifecycle (an entered backend
+reuses one pool across ``map`` calls; the engine enters/exits it), the
+solver-module derived code versions, and ``cache gc`` evicting exactly the
+stale-version entries.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -17,6 +21,7 @@ from repro.analysis.backends import (
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
+    available_backends,
     register_backend,
     resolve_backend,
 )
@@ -45,6 +50,10 @@ def _value_trial(config, seed):
     return {"value": config["x"] * 10 + (seed % 7)}
 
 
+def _getpid(_item):
+    return os.getpid()
+
+
 def _jobs(trial_name, xs, trials=2):
     return [
         TrialJob.make(trial_name, {"x": x}, derive_seed(trial_name, x, t), t)
@@ -56,6 +65,20 @@ def _jobs(trial_name, xs, trials=2):
 class TestBackendRegistry:
     def test_builtin_backends_are_registered(self):
         assert {"serial", "threads", "processes"} <= set(BACKENDS)
+
+    def test_available_backends_lists_the_lazy_cluster_backend(self):
+        # ``cluster`` is importable on demand, so it must be advertised (and
+        # accepted by the CLI ``--backend`` choices) even before its module
+        # has been loaded.
+        assert {"serial", "threads", "processes", "cluster"} <= set(
+            available_backends()
+        )
+
+    def test_cluster_backend_autoloads_on_resolve(self):
+        backend = resolve_backend("cluster", workers=2)
+        assert type(backend).__name__ == "ClusterBackend"
+        assert backend.workers == 2 and backend.name == "cluster"
+        assert "cluster" in BACKENDS
 
     def test_resolve_by_name(self):
         assert isinstance(resolve_backend("serial"), SerialBackend)
@@ -120,28 +143,93 @@ class TestBackendRegistry:
 class TestBackendParity:
     """Bit-identical results on every backend, for synthetic and real trials."""
 
+    BACKEND_NAMES = ("serial", "threads", "processes", "cluster")
+
     def test_synthetic_trials_identical_across_backends(self):
         jobs = _jobs("unit", (1, 2, 3, 4), trials=3)
-        outcomes = {
-            name: ExperimentEngine(workers=4, backend=name).run_jobs(
-                _value_trial, jobs
-            )
-            for name in ("serial", "threads", "processes")
-        }
+        outcomes = {}
+        for name in self.BACKEND_NAMES:
+            with ExperimentEngine(workers=4, backend=name) as engine:
+                outcomes[name] = engine.run_jobs(_value_trial, jobs)
         baseline = [(r.config, r.seed, r.metrics) for r in outcomes["serial"]]
         for name, results in outcomes.items():
             assert [(r.config, r.seed, r.metrics) for r in results] == baseline, name
 
     def test_e1_table_identical_across_backends(self):
-        tables = [
-            experiment_e1_two_ecss_approximation(
-                sizes=(12,),
-                trials=2,
-                engine=ExperimentEngine(workers=2, backend=name),
-            )
-            for name in ("serial", "threads", "processes")
-        ]
-        assert tables[0].rows == tables[1].rows == tables[2].rows
+        tables = []
+        for name in self.BACKEND_NAMES:
+            with ExperimentEngine(workers=2, backend=name) as engine:
+                tables.append(
+                    experiment_e1_two_ecss_approximation(
+                        sizes=(12,), trials=2, engine=engine
+                    )
+                )
+        assert all(table.rows == tables[0].rows for table in tables)
+
+
+class TestPooledExecutorLifecycle:
+    """Entered pool backends keep one executor alive across ``map`` calls."""
+
+    def test_entered_process_backend_reuses_its_worker_processes(self):
+        backend = ProcessBackend(workers=2)
+        with backend:
+            first = set(backend.map(_getpid, range(16)))
+            second = set(backend.map(_getpid, range(16)))
+        # Same pool on both calls: across both maps no more pids than the
+        # pool size (per-call pools would have shown two disjoint sets).
+        assert first and second
+        assert len(first | second) <= 2
+        assert backend._pool is None
+
+    def test_unentered_map_still_uses_a_fresh_pool_per_call(self):
+        backend = ProcessBackend(workers=2)
+        first = set(backend.map(_getpid, range(8)))
+        second = set(backend.map(_getpid, range(8)))
+        assert backend._pool is None
+        # Historical per-call behaviour: fresh processes each time.
+        assert first.isdisjoint(second)
+
+    def test_entered_thread_backend_maps_correctly_across_calls(self):
+        backend = ThreadBackend(workers=4)
+        with backend:
+            assert backend.map(str, range(10)) == [str(i) for i in range(10)]
+            assert backend.map(abs, [-3, -1]) == [3, 1]
+        assert backend._pool is None
+        assert backend.map(str, [5]) == ["5"]  # usable again, per-call pool
+
+    def test_chunked_map_preserves_item_order(self):
+        # 64 items over a 2-worker pool -> chunksize > 1; order must hold.
+        backend = ThreadBackend(workers=2)
+        items = list(range(64))
+        with backend:
+            assert backend.map(str, items) == [str(i) for i in items]
+
+
+class TestEngineBackendLifecycle:
+    """``with engine:`` enters the resolved backend once and exits it after."""
+
+    def test_entered_engine_keeps_one_backend_and_one_pool(self):
+        engine = ExperimentEngine(workers=2, backend="threads")
+        with engine:
+            backend = engine._backend_instance()
+            engine.run_jobs(_value_trial, _jobs("unit", (1,)))
+            assert engine._backend_instance() is backend
+            assert backend._pool is not None
+            pool = backend._pool
+            engine.run_jobs(_value_trial, _jobs("unit", (2,)))
+            assert backend._pool is pool
+        assert backend._pool is None
+
+    def test_entered_engine_with_serial_backend_is_a_noop(self):
+        with ExperimentEngine(backend="serial") as engine:
+            results = engine.run_jobs(_value_trial, _jobs("unit", (1,)))
+        assert all(result.ok for result in results)
+
+    def test_unentered_engine_matches_historical_behaviour(self):
+        engine = ExperimentEngine(workers=2, backend="threads")
+        results = engine.run_jobs(_value_trial, _jobs("unit", (1, 2)))
+        assert len(results) == 4
+        assert engine._backend_instance()._pool is None
 
 
 class TestCodeVersion:

@@ -24,6 +24,13 @@ Guards in the default test run:
   retained ``Counter``/frozenset oracle loops on n >= 256 instances --
   asserting value-identical scores first, so the guards double as one more
   parity check -- with stricter n = 400 variants behind the ``slow`` marker;
+* the loopback ``cluster`` backend with 4 workers finishes a latency-bound
+  batch at least 2x faster than serial (spawn/registration amortised by the
+  entered-backend lifecycle), with a CPU-bound variant of the same guard on
+  machines with >= 4 cores;
+* an entered (pooled) ``processes`` backend re-running several small batches
+  beats the historical fresh-executor-per-call behaviour by at least 2x --
+  the acceptance bar for the pooled-executor reuse;
 * ``kecss bench --dry-run`` emits baseline JSON that passes the published
   schema check (and a written baseline round-trips through it);
 * ``kecss bench e3 --against BENCH_e3.json`` and ``kecss bench e9 --against
@@ -38,7 +45,9 @@ Guards in the default test run:
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import time
 from fractions import Fraction
 from pathlib import Path
@@ -46,7 +55,9 @@ from pathlib import Path
 import networkx as nx
 import pytest
 
+from repro.analysis.backends import ProcessBackend, SerialBackend
 from repro.analysis.bench import validate_baseline
+from repro.analysis.cluster import ClusterBackend
 from repro.analysis.engine import ExperimentEngine
 from repro.analysis.experiments import (
     experiment_e1_two_ecss_approximation,
@@ -94,6 +105,13 @@ THREE_ECSS_MIN_SPEEDUP = 3.0
 #: Acceptance bar for the k-ECSS bitset coverage kernel at n >= 256 against
 #: the frozenset-intersection recompute; 3x leaves CI headroom.
 KECSS_MIN_SPEEDUP = 3.0
+#: Acceptance bar for the loopback cluster backend with 4 workers against
+#: serial execution of the same batch (measured ~3-4x steady state locally).
+CLUSTER_MIN_SPEEDUP = 2.0
+#: Acceptance bar for an entered (pooled) process backend against the
+#: historical fresh-executor-per-map behaviour over several small batches
+#: (measured ~10-18x locally; pool startup dominates tiny batches).
+POOL_REUSE_MIN_SPEEDUP = 2.0
 
 
 def _run_e1_e4(engine):
@@ -390,6 +408,104 @@ def test_kecss_coverage_speedup_at_n400():
     assert speedup >= KECSS_MIN_SPEEDUP, (
         f"k-ECSS coverage kernel only {speedup:.1f}x at n=400 "
         f"(bar: {KECSS_MIN_SPEEDUP}x)"
+    )
+
+
+# ----------------------------------------------- cluster + pooled-executor guards
+def _latency_bound_trial(x):
+    """Stands in for a trial dominated by waiting (I/O, remote solver, ...)."""
+    time.sleep(0.04)
+    return x
+
+
+def _cpu_bound_trial(x):
+    """~20-30ms of pure hashing, the all-cores-busy sweep shape."""
+    digest = hashlib.sha256(str(x).encode())
+    for _ in range(30_000):
+        digest = hashlib.sha256(digest.digest())
+    return digest.hexdigest()
+
+
+def _cluster_speedup(function, items) -> float:
+    """Entered 4-worker loopback cluster vs serial on the same batch.
+
+    Worker spawn and registration happen inside the ``with`` block before the
+    timer starts (a one-item warm-up batch), matching how the engine holds
+    the backend open across a whole sweep.
+    """
+    serial = _best_of(lambda: SerialBackend().map(function, items), repetitions=1)
+    with ClusterBackend(workers=4) as backend:
+        warmup = backend.map(function, items[:1])
+        assert warmup == SerialBackend().map(function, items[:1])
+        started = time.perf_counter()
+        values = backend.map(function, items)
+        clustered = time.perf_counter() - started
+    assert values == SerialBackend().map(function, items)
+    return serial / clustered
+
+
+def test_cluster_loopback_beats_serial_on_latency_bound_batches():
+    """The distribution acceptance bar: >= 2x with 4 loopback workers.
+
+    Latency-bound trials parallelise on any machine (CI runners included),
+    so this variant guards the work-queue scheduling itself -- leasing,
+    chunking and result streaming -- independently of core count.
+    """
+    speedup = _cluster_speedup(_latency_bound_trial, list(range(40)))
+    print(f"\ncluster loopback, latency-bound (4 workers): {speedup:.1f}x")
+    assert speedup >= CLUSTER_MIN_SPEEDUP, (
+        f"4-worker loopback cluster only {speedup:.1f}x faster than serial "
+        f"on a latency-bound batch (bar: {CLUSTER_MIN_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="CPU-bound scaling needs >= 4 cores; the latency-bound guard "
+    "covers the scheduling path on smaller machines",
+)
+def test_cluster_loopback_beats_serial_on_cpu_bound_batches():
+    """The same bar on genuinely CPU-bound trials, where cores permit."""
+    speedup = _cluster_speedup(_cpu_bound_trial, list(range(48)))
+    print(f"\ncluster loopback, CPU-bound (4 workers): {speedup:.1f}x")
+    assert speedup >= CLUSTER_MIN_SPEEDUP, (
+        f"4-worker loopback cluster only {speedup:.1f}x faster than serial "
+        f"on a CPU-bound batch (bar: {CLUSTER_MIN_SPEEDUP}x)"
+    )
+
+
+def test_reused_process_pool_beats_per_call_pools_on_small_batches():
+    """The pooled-executor acceptance bar: reuse >= 2x over fresh-per-map.
+
+    Six tiny batches, the shape of an engine sweep that calls ``run_jobs``
+    once per experiment row: un-entered (the historical behaviour) every
+    ``map`` pays full executor startup; entered, one pool serves them all.
+    """
+    items = list(range(8))
+    batches = 6
+
+    per_call_backend = ProcessBackend(workers=4)
+    started = time.perf_counter()
+    for _ in range(batches):
+        assert per_call_backend.map(str, items) == [str(i) for i in items]
+    per_call = time.perf_counter() - started
+
+    pooled_backend = ProcessBackend(workers=4)
+    with pooled_backend:
+        pooled_backend.map(str, items)  # spawn the pool outside the timer
+        started = time.perf_counter()
+        for _ in range(batches):
+            assert pooled_backend.map(str, items) == [str(i) for i in items]
+        pooled = time.perf_counter() - started
+
+    speedup = per_call / pooled
+    print(
+        f"\nprocess pools over {batches} small batches: per-call {per_call:.3f}s, "
+        f"reused {pooled:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= POOL_REUSE_MIN_SPEEDUP, (
+        f"reused process pool only {speedup:.1f}x faster than per-call pools "
+        f"(bar: {POOL_REUSE_MIN_SPEEDUP}x)"
     )
 
 

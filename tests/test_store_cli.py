@@ -142,6 +142,50 @@ class TestHistoryAndRegress:
         self._populate(store_dir)
         assert main(["history", "e9", "--store-dir", str(store_dir)]) == 1
 
+    def test_history_metric_drilldown(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["history", "e3", "--store-dir", str(store_dir),
+                     "--metric", "iterations"]) == 0
+        out = capsys.readouterr().out
+        assert "metric iterations" in out
+        assert "mean iterations" in out and "min iterations" in out
+
+    def test_history_metric_drilldown_grouped_by_config_key(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._populate(store_dir)
+        capsys.readouterr()
+        # ``n`` resolves through the ``config.`` prefix: one row per size.
+        assert main(["history", "e3", "--store-dir", str(store_dir),
+                     "--metric", "iterations", "--by", "n"]) == 0
+        out = capsys.readouterr().out
+        assert "metric iterations by n" in out
+        assert out.count("\n") > 4  # header + one row per distinct n
+
+    def test_history_by_without_metric_is_a_usage_error(self, tmp_path):
+        store_dir = tmp_path / "store"
+        self._populate(store_dir)
+        with pytest.raises(SystemExit, match="--by requires --metric"):
+            main(["history", "e3", "--store-dir", str(store_dir), "--by", "n"])
+
+    def test_history_unknown_metric_lists_the_known_ones(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["history", "e3", "--store-dir", str(store_dir),
+                     "--metric", "no-such-metric"]) == 1
+        err = capsys.readouterr().err
+        assert "no-such-metric" in err and "iterations" in err
+
+    def test_history_unknown_group_key_lists_groupable_columns(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["history", "e3", "--store-dir", str(store_dir),
+                     "--metric", "iterations", "--by", "no-such-key"]) == 1
+        assert "no-such-key" in capsys.readouterr().err
+
     def test_regress_single_run_passes(self, tmp_path, capsys):
         store_dir = tmp_path / "store"
         self._populate(store_dir)
