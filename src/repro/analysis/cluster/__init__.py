@@ -20,24 +20,36 @@ computes them, or whether a dead worker's lease was requeued.
 from repro.analysis.cluster.backend import ClusterBackend
 from repro.analysis.cluster.coordinator import BatchOutcome, Coordinator
 from repro.analysis.cluster.protocol import (
+    MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SECRET_ENV,
+    AuthenticationError,
     ConnectionClosed,
+    answer_challenge,
     decode_frame,
     default_chunk_size,
+    deliver_challenge,
     encode_frame,
     plan_chunks,
+    secret_from_env,
 )
 from repro.analysis.cluster.worker import run_worker
 
 __all__ = [
+    "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
-    "ConnectionClosed",
+    "SECRET_ENV",
+    "AuthenticationError",
     "BatchOutcome",
     "ClusterBackend",
+    "ConnectionClosed",
     "Coordinator",
+    "answer_challenge",
     "decode_frame",
     "default_chunk_size",
+    "deliver_challenge",
     "encode_frame",
     "plan_chunks",
     "run_worker",
+    "secret_from_env",
 ]

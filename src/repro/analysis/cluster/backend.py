@@ -12,7 +12,10 @@ Two modes:
 * **Attach** (``REPRO_CLUSTER_LISTEN=HOST:PORT``): bind the given address
   and serve whatever external ``kecss worker --connect HOST:PORT``
   processes register -- on this machine or others.  Workers may attach and
-  detach mid-sweep; the lease table absorbs both.
+  detach mid-sweep; the lease table absorbs both.  Attach mode requires
+  ``REPRO_CLUSTER_SECRET`` (the same value on coordinator and workers);
+  every connection must pass an HMAC challenge before any frame is
+  deserialized.
 
 The backend carries the engine's context-manager lifecycle: entered once
 (``with engine:``), the coordinator and its workers persist across every
@@ -27,10 +30,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import secrets as _secrets
 from dataclasses import dataclass
 
 from repro.analysis.backends import register_backend
 from repro.analysis.cluster.coordinator import Coordinator
+from repro.analysis.cluster.protocol import SECRET_ENV, secret_from_env
 from repro.analysis.cluster.worker import _worker_process_main
 from repro.analysis.runner import TrialResult
 
@@ -80,6 +85,14 @@ class ClusterBackend:
             :func:`~repro.analysis.cluster.protocol.default_chunk_size`.
         heartbeat_timeout: Seconds of worker silence before its leases
             requeue (socket EOF is caught immediately regardless).
+        secret: Shared secret every worker must prove (HMAC challenge)
+            before the coordinator deserializes anything it sends.  Default
+            ``$REPRO_CLUSTER_SECRET``; loopback mode falls back to a random
+            per-start secret handed to its child workers directly, attach
+            mode refuses to start without one (external workers could never
+            guess it, and an unauthenticated pickle listener on a non-
+            loopback interface is remote code execution for anyone who can
+            reach the port).
     """
 
     workers: int = 4
@@ -87,6 +100,7 @@ class ClusterBackend:
     listen: tuple[str, int] | None = None
     chunk_size: int | None = None
     heartbeat_timeout: float = 10.0
+    secret: str | None = None
 
     # Runtime state, not configuration (class attributes, not dataclass
     # fields, so construction stays cheap and side-effect free).
@@ -98,6 +112,8 @@ class ClusterBackend:
         self.workers = max(1, self.workers)
         if self.listen is None:
             self.listen = listen_address_from_env()
+        if self.secret is None:
+            self.secret = secret_from_env()
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -120,6 +136,18 @@ class ClusterBackend:
         if self._coordinator is not None:
             return
         host, port = self.listen if self.attached else ("127.0.0.1", 0)
+        secret = self.secret
+        if self.attached and not secret:
+            raise RuntimeError(
+                f"attach mode needs a shared secret: export {SECRET_ENV} "
+                f"(same value on every kecss worker) before binding "
+                f"{host}:{port} -- an unauthenticated listener would hand "
+                f"pickle-level code execution to anyone who can reach it"
+            )
+        if not secret:
+            # Loopback: nobody outside this process tree needs the secret,
+            # so a random per-start one passed to the children suffices.
+            secret = _secrets.token_hex(16)
         self._coordinator = Coordinator(
             host,
             port,
@@ -129,6 +157,7 @@ class ClusterBackend:
             # nobody new will ever connect, so a stuck batch must fail.
             # External workers may roll or reconnect, so attach mode waits.
             abandon_when_no_workers=not self.attached,
+            secret=secret,
         ).start()
         if not self.attached:
             context = _fork_context()
@@ -136,7 +165,7 @@ class ClusterBackend:
             self._processes = [
                 context.Process(
                     target=_worker_process_main,
-                    args=(bound_host, bound_port, f"w{index}"),
+                    args=(bound_host, bound_port, f"w{index}", secret),
                     name=f"kecss-cluster-w{index}",
                     daemon=True,
                 )

@@ -22,7 +22,12 @@ Both mechanisms can only duplicate work, never lose or reorder it, and
 because every backend is bit-identical by construction (seeds are derived
 up front), a duplicated item's two results are byte-equal -- first-wins
 deduplication is safe.  Results therefore come back in item order, matching
-``"serial"`` exactly.
+``"serial"`` exactly.  A duplicate can even outlive its batch (the victim
+is never told it was stolen from, so it may finish a tail item after the
+batch completed), which is why every chunk carries a batch epoch that
+workers echo back: result and error frames from any non-current epoch are
+dropped instead of being mistaken for the next batch's identically-indexed
+items.
 
 Everything here is stdlib (``socket`` + ``threading``); see
 ``docs/distributed.md`` for the wire protocol and a two-machine quickstart.
@@ -31,6 +36,7 @@ Everything here is stdlib (``socket`` + ``threading``); see
 from __future__ import annotations
 
 import pickle
+import secrets
 import socket
 import threading
 import time
@@ -39,7 +45,9 @@ from dataclasses import dataclass, field
 
 from repro.analysis.cluster.protocol import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     ConnectionClosed,
+    deliver_challenge,
     plan_chunks,
     recv_frame,
     send_frame,
@@ -105,6 +113,12 @@ class Coordinator:
             has died and none remain.  Loopback mode sets this (its workers
             are child processes; nobody new will connect), attach mode
             leaves it off so a batch survives a rolling worker restart.
+        secret: Shared secret every connection must prove (HMAC challenge)
+            before any frame is deserialized.  ``None`` generates a random
+            per-coordinator secret, readable from :attr:`secret` -- right
+            for loopback mode (the backend hands it to its child workers)
+            and for tests; attach mode passes ``$REPRO_CLUSTER_SECRET``
+            explicitly so external workers can know it.
     """
 
     def __init__(
@@ -117,8 +131,10 @@ class Coordinator:
         idle_delay: float = 0.2,
         busy_delay: float = 0.02,
         abandon_when_no_workers: bool = False,
+        secret: str | bytes | None = None,
     ) -> None:
         self._bind = (host, port)
+        self._secret = secret if secret else secrets.token_hex(16)
         self._expected_capacity = max(1, expected_capacity)
         self._heartbeat_timeout = heartbeat_timeout
         self._idle_delay = idle_delay
@@ -137,11 +153,18 @@ class Coordinator:
             "steals": 0,
             "requeued": 0,
             "duplicates": 0,
+            "stale_frames": 0,
             "dead_workers": 0,
             "total_completed": 0,
         }
 
         # Per-batch state; ``_function is None`` means no batch in flight.
+        # ``_batch`` is the monotonically increasing batch epoch: chunk
+        # frames carry it, workers echo it, and result/error frames from
+        # any other epoch are dropped -- a steal victim that keeps
+        # streaming its stolen tail after the batch completed must not
+        # corrupt the next batch's identically-indexed results.
+        self._batch = 0
         self._function = None
         self._items: list = []
         self._results: list = []
@@ -174,6 +197,11 @@ class Coordinator:
         if self._address is None:
             raise RuntimeError("coordinator is not started")
         return self._address
+
+    @property
+    def secret(self) -> str | bytes:
+        """The shared secret workers must prove before speaking frames."""
+        return self._secret
 
     def close(self) -> None:
         """Broadcast shutdown to connected workers and stop listening."""
@@ -217,6 +245,7 @@ class Coordinator:
                 raise RuntimeError("a batch is already in flight")
             capacity = sum(w.capacity for w in self._workers.values() if w.alive)
             capacity = max(capacity, self._expected_capacity)
+            self._batch += 1
             self._function = function
             self._items = items
             self._results = [None] * len(items)
@@ -332,10 +361,17 @@ class Coordinator:
                 self._close_conn(worker.conn)
 
     def _serve(self, conn: socket.socket) -> None:
-        """One worker connection: register handshake, then request/result loop."""
+        """One worker connection: auth + register handshake, then the loop.
+
+        The HMAC challenge runs first, over fixed-size raw bytes: a peer
+        that cannot prove the shared secret is disconnected before any of
+        its bytes reach ``pickle.loads``.
+        """
         try:
+            deliver_challenge(conn, self._secret)
             hello = recv_frame(conn)
-        except (ConnectionClosed, OSError, pickle.UnpicklingError):
+        except (AuthenticationError, ConnectionClosed, OSError,
+                pickle.UnpicklingError):
             self._close_conn(conn)
             return
         if not isinstance(hello, dict) or hello.get("type") != "register":
@@ -447,6 +483,7 @@ class Coordinator:
         return {
             "type": "chunk",
             "lease": lease.lease_id,
+            "batch": self._batch,
             "indices": list(indices),
             "items": [self._items[i] for i in indices],
             "function": self._function,
@@ -454,7 +491,13 @@ class Coordinator:
 
     def _record_result(self, worker: _Worker, message: dict) -> None:
         with self._lock:
-            if self._function is None:
+            if self._function is None or message.get("batch") != self._batch:
+                # A frame from a completed batch: a steal victim is never
+                # interrupted, so it may still stream its stolen tail after
+                # the batch finished.  Once the next batch is in flight the
+                # same indices mean different items -- recording the stale
+                # value would silently corrupt them, so drop the frame.
+                self._counters["stale_frames"] += 1
                 return
             index = message.get("index")
             if not isinstance(index, int) or not 0 <= index < len(self._results):
@@ -481,6 +524,12 @@ class Coordinator:
 
     def _record_failure(self, message: dict) -> None:
         with self._lock:
+            if self._function is None or message.get("batch") != self._batch:
+                # Same staleness rule as results: an error from an already-
+                # stolen item of a previous batch must not abort the
+                # unrelated batch currently in flight.
+                self._counters["stale_frames"] += 1
+                return
             if self._failure is None:
                 self._failure = str(message.get("error", "worker reported an error"))
             self._done.set()

@@ -1,27 +1,34 @@
-"""Wire protocol of the cluster work queue: framing and chunk planning.
+"""Wire protocol of the cluster work queue: auth, framing, chunk planning.
 
-Messages are plain dicts with a ``"type"`` key, pickled and prefixed with an
-8-byte big-endian length so a stream reader always knows how many bytes the
-next message occupies.  Pickle keeps the protocol dependency-free and lets
-job frames carry exactly what the engine already fans out over the
-``"processes"`` backend (a ``partial(_execute_trial, trial)`` plus
-:class:`~repro.analysis.engine.TrialJob` items) -- which also means the
-protocol inherits pickle's trust model: **only run coordinators and workers
-on networks you control** (see ``docs/distributed.md``).
+Every connection starts with a fixed-size HMAC-SHA256 challenge handshake
+(:func:`deliver_challenge` / :func:`answer_challenge`) keyed on a shared
+secret, **before any pickle crosses the wire** -- an unauthenticated peer
+never reaches ``pickle.loads``.  After that, messages are plain dicts with
+a ``"type"`` key, pickled and prefixed with an 8-byte big-endian length
+(capped at :data:`MAX_FRAME_BYTES`) so a stream reader always knows how
+many bytes the next message occupies.  Pickle keeps the protocol
+dependency-free and lets job frames carry exactly what the engine already
+fans out over the ``"processes"`` backend (a ``partial(_execute_trial,
+trial)`` plus :class:`~repro.analysis.engine.TrialJob` items) -- which also
+means the protocol inherits pickle's trust model: the shared secret gates
+*who* may connect, but an authenticated peer runs arbitrary code, so **only
+share the secret with machines you trust** (see ``docs/distributed.md``).
 
 Message shapes (worker ``->`` coordinator unless noted):
 
 * ``register``: ``name`` / ``pid`` / ``host`` / ``capacity`` / ``proto``
 * ``welcome`` (coordinator): the final (de-duplicated) worker ``name``
 * ``request``: the worker is idle and wants a chunk
-* ``chunk`` (coordinator): ``lease`` id, global ``indices``, the pickled
-  ``items`` and the ``function`` to map over them
+* ``chunk`` (coordinator): ``lease`` id, the ``batch`` epoch, global
+  ``indices``, the pickled ``items`` and the ``function`` to map over them
 * ``wait`` (coordinator): no work right now; retry after ``delay`` seconds
-* ``result``: ``lease`` id, one global ``index``, its computed ``result``
-  (results stream back per item so a lease can be split mid-flight)
-* ``error``: ``index`` plus the formatted traceback of an infrastructure
-  failure (trial-level failures are data -- ``TrialResult.error`` -- and
-  travel as ordinary results)
+* ``result``: ``lease`` id, ``batch`` epoch, one global ``index``, its
+  computed ``result`` (results stream back per item so a lease can be
+  split mid-flight; the echoed epoch lets the coordinator drop frames a
+  steal victim keeps streaming after its batch already completed)
+* ``error``: ``batch`` epoch, ``index``, and the formatted traceback of an
+  infrastructure failure (trial-level failures are data --
+  ``TrialResult.error`` -- and travel as ordinary results)
 * ``heartbeat``: liveness while computing a long chunk
 * ``shutdown`` (coordinator): drain and exit
 
@@ -34,14 +41,23 @@ sweeps still amortize the per-frame cost.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
 import struct
 
 __all__ = [
+    "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "SECRET_ENV",
+    "AuthenticationError",
     "ConnectionClosed",
+    "answer_challenge",
+    "deliver_challenge",
     "encode_frame",
     "decode_frame",
+    "secret_from_env",
     "send_frame",
     "recv_frame",
     "default_chunk_size",
@@ -50,10 +66,31 @@ __all__ = [
 
 #: Bumped on incompatible message-shape changes; ``register``/``welcome``
 #: carry it so mismatched peers fail with a message instead of a mis-parse.
-PROTOCOL_VERSION = 1
+#: v2: HMAC challenge handshake before framing; ``batch`` epoch echoed in
+#: ``result``/``error`` frames.
+PROTOCOL_VERSION = 2
+
+#: Environment variable holding the shared cluster secret.  Attach mode
+#: requires it on both ends; loopback mode generates a per-run secret and
+#: hands it to its child workers directly, so the variable stays unset.
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
+
+#: Ceiling on one frame's pickled payload (256 MiB).  Real frames are a
+#: chunk of trial jobs or one trial result -- orders of magnitude smaller;
+#: the cap stops a garbage or hostile 8-byte header from provoking a
+#: multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 28
 
 #: 8-byte big-endian unsigned frame length (the pickled payload size).
 _HEADER = struct.Struct(">Q")
+
+#: Fixed-size handshake markers (equal lengths, so the worker reads exactly
+#: one verdict's worth of bytes).  Raw bytes, never pickled.
+_AUTH_CHALLENGE = b"#KECSS-CHALLENGE#"
+_AUTH_WELCOME = b"#KECSS-WELCOME##"
+_AUTH_FAILURE = b"#KECSS-FAILURE##"
+_NONCE_BYTES = 32
+_DIGEST_BYTES = hashlib.sha256().digest_size
 
 #: Leases a worker's share of a batch is split into (stealable granularity).
 _TARGET_LEASES_PER_WORKER = 4
@@ -66,9 +103,84 @@ class ConnectionClosed(ConnectionError):
     """The peer closed the socket (cleanly or mid-frame)."""
 
 
+class AuthenticationError(ConnectionError):
+    """The shared-secret challenge handshake failed."""
+
+
+def secret_from_env() -> str | None:
+    """The shared secret from :data:`SECRET_ENV`, or ``None`` when unset."""
+    return os.environ.get(SECRET_ENV) or None
+
+
+def _secret_bytes(secret) -> bytes:
+    if isinstance(secret, str):
+        secret = secret.encode("utf-8")
+    if not isinstance(secret, (bytes, bytearray)) or not secret:
+        raise ValueError("the cluster secret must be a non-empty str or bytes")
+    return bytes(secret)
+
+
+def deliver_challenge(sock, secret) -> None:
+    """Coordinator side of the handshake: challenge, verify, admit or deny.
+
+    Sends a random nonce, reads back exactly one HMAC-SHA256 digest, and
+    compares in constant time.  Everything exchanged is fixed-size raw
+    bytes -- no length header to forge, nothing deserialized -- so an
+    unauthenticated peer can neither trigger ``pickle.loads`` nor provoke
+    a large allocation.  Raises :class:`AuthenticationError` (after
+    best-effort sending the failure marker) on a bad digest.
+    """
+    key = _secret_bytes(secret)
+    nonce = os.urandom(_NONCE_BYTES)
+    sock.sendall(_AUTH_CHALLENGE + nonce)
+    digest = _recv_exact(sock, _DIGEST_BYTES)
+    expected = hmac.new(key, nonce, hashlib.sha256).digest()
+    if not hmac.compare_digest(digest, expected):
+        try:
+            sock.sendall(_AUTH_FAILURE)
+        except OSError:
+            pass
+        raise AuthenticationError("peer failed the shared-secret challenge")
+    sock.sendall(_AUTH_WELCOME)
+
+
+def answer_challenge(sock, secret) -> None:
+    """Worker side of the handshake: prove knowledge of the shared secret.
+
+    Raises :class:`AuthenticationError` when the peer is not a kecss
+    coordinator (wrong challenge prelude) or rejects the digest -- the
+    usual cause is :data:`SECRET_ENV` differing between the two ends.
+    """
+    key = _secret_bytes(secret)
+    prelude = _recv_exact(sock, len(_AUTH_CHALLENGE) + _NONCE_BYTES)
+    if not prelude.startswith(_AUTH_CHALLENGE):
+        raise AuthenticationError(
+            "peer did not issue the expected challenge (not a kecss "
+            "coordinator, or an incompatible protocol version)"
+        )
+    nonce = prelude[len(_AUTH_CHALLENGE):]
+    sock.sendall(hmac.new(key, nonce, hashlib.sha256).digest())
+    verdict = _recv_exact(sock, len(_AUTH_WELCOME))
+    if verdict != _AUTH_WELCOME:
+        raise AuthenticationError(
+            f"coordinator rejected the shared secret (check {SECRET_ENV} "
+            f"on both ends)"
+        )
+
+
 def encode_frame(message: object) -> bytes:
-    """One message as its on-wire bytes: length header + pickled payload."""
+    """One message as its on-wire bytes: length header + pickled payload.
+
+    Raises ``ValueError`` past :data:`MAX_FRAME_BYTES`, so an oversized
+    chunk fails loudly at the sender instead of as a dropped connection at
+    the receiver.
+    """
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload is {len(payload)} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap; lower chunk_size"
+        )
     return _HEADER.pack(len(payload)) + payload
 
 
@@ -80,6 +192,11 @@ def decode_frame(data: bytes) -> object:
             f"{_HEADER.size}-byte header"
         )
     (length,) = _HEADER.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionClosed(
+            f"frame too large: header claims {length} payload bytes, "
+            f"cap is {MAX_FRAME_BYTES}"
+        )
     if len(data) != _HEADER.size + length:
         raise ConnectionClosed(
             f"frame length mismatch: header says {length} payload bytes, "
@@ -109,9 +226,19 @@ def _recv_exact(sock, count: int) -> bytes:
 
 
 def recv_frame(sock) -> object:
-    """Read one framed message from *sock*; :class:`ConnectionClosed` on EOF."""
+    """Read one framed message from *sock*; :class:`ConnectionClosed` on EOF.
+
+    The header's claimed length is validated against :data:`MAX_FRAME_BYTES`
+    *before* any payload allocation, so a corrupt or hostile header cannot
+    provoke a multi-gigabyte buffer.
+    """
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionClosed(
+            f"frame too large: header claims {length} payload bytes, "
+            f"cap is {MAX_FRAME_BYTES}"
+        )
     return pickle.loads(_recv_exact(sock, length))
 
 

@@ -1,11 +1,20 @@
-"""The cluster worker loop: register, lease, compute, stream, heartbeat.
+"""The cluster worker loop: authenticate, register, lease, compute, stream.
 
 :func:`run_worker` is the whole worker: connect (with retries, so workers
 started before the coordinator binds -- the normal CI race -- still attach),
-register over the socket, then loop requesting chunks and streaming one
-``result`` frame per computed item.  A heartbeat thread keeps the
-coordinator's liveness stamp fresh while a long chunk computes; the main
-thread and the heartbeat thread share the socket under a send lock.
+answer the coordinator's shared-secret challenge, register over the socket,
+then loop requesting chunks and streaming one ``result`` frame per computed
+item (echoing each chunk's batch epoch, so the coordinator can drop frames
+that outlive their batch).  A heartbeat thread keeps the coordinator's
+liveness stamp fresh while a long chunk computes; the main thread and the
+heartbeat thread share the socket under a send lock.
+
+The handshake phase is *not* graceful: a failed challenge
+(:class:`~repro.analysis.cluster.protocol.AuthenticationError`) or a
+registration rejection (:class:`ConnectionClosed` with the coordinator's
+message, e.g. a protocol-version mismatch) propagates to the caller, so
+``kecss worker`` can report it and exit non-zero instead of pretending it
+served zero items.
 
 Per-item streaming is what makes the coordinator's fault tolerance and work
 stealing cheap: the coordinator always knows exactly which indices of a
@@ -29,7 +38,9 @@ import traceback
 
 from repro.analysis.cluster.protocol import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     ConnectionClosed,
+    answer_challenge,
     recv_frame,
     send_frame,
 )
@@ -60,6 +71,7 @@ def run_worker(
     host: str,
     port: int,
     *,
+    secret: str | bytes,
     name: str | None = None,
     capacity: int = 1,
     heartbeat_interval: float = 2.0,
@@ -68,8 +80,11 @@ def run_worker(
     """Serve one coordinator until it shuts down; returns ``{name, computed}``.
 
     Raises ``OSError`` when the coordinator cannot be reached within
-    *connect_timeout* seconds.  Everything after a successful registration
-    is graceful: a vanished coordinator ends the loop instead of raising.
+    *connect_timeout* seconds, ``AuthenticationError`` when *secret* fails
+    the coordinator's challenge, and ``ConnectionClosed`` when registration
+    is rejected (e.g. a protocol-version mismatch).  Everything after a
+    successful registration is graceful: a vanished coordinator ends the
+    loop instead of raising.
     """
     conn = _connect(host, port, connect_timeout)
     send_lock = threading.Lock()
@@ -80,7 +95,11 @@ def run_worker(
         with send_lock:
             send_frame(conn, message)
 
+    # Handshake phase: authenticate, register, await the welcome.  Failures
+    # here mean the worker never joined the cluster and must surface to the
+    # caller -- only the serve loop below treats disconnects as graceful.
     try:
+        answer_challenge(conn, secret)
         _send({
             "type": "register",
             "proto": PROTOCOL_VERSION,
@@ -93,8 +112,15 @@ def run_worker(
         if not isinstance(welcome, dict) or welcome.get("type") != "welcome":
             detail = welcome.get("error") if isinstance(welcome, dict) else welcome
             raise ConnectionClosed(f"coordinator rejected registration: {detail!r}")
-        final_name = str(welcome.get("name") or name or "worker")
+    except BaseException:
+        try:
+            conn.close()
+        except OSError:
+            pass
+        raise
+    final_name = str(welcome.get("name") or name or "worker")
 
+    try:
         def _heartbeat_loop() -> None:
             while not stop.wait(heartbeat_interval):
                 try:
@@ -117,6 +143,9 @@ def run_worker(
             if kind == "chunk":
                 function = message["function"]
                 lease = message["lease"]
+                # Echoed verbatim so the coordinator can drop frames that
+                # arrive after this batch already completed (stolen tails).
+                batch = message.get("batch")
                 for index, item in zip(message["indices"], message["items"]):
                     try:
                         result = function(item)
@@ -127,6 +156,7 @@ def run_worker(
                         _send({
                             "type": "error",
                             "lease": lease,
+                            "batch": batch,
                             "index": index,
                             "error": traceback.format_exc(),
                         })
@@ -134,6 +164,7 @@ def run_worker(
                     _send({
                         "type": "result",
                         "lease": lease,
+                        "batch": batch,
                         "index": index,
                         "result": result,
                     })
@@ -145,7 +176,7 @@ def run_worker(
         return {"name": final_name, "computed": computed}
     except (ConnectionClosed, OSError):
         # The coordinator went away; a worker has nothing left to serve.
-        return {"name": name or "worker", "computed": computed}
+        return {"name": final_name, "computed": computed}
     finally:
         stop.set()
         try:
@@ -154,9 +185,9 @@ def run_worker(
             pass
 
 
-def _worker_process_main(host: str, port: int, name: str) -> None:
+def _worker_process_main(host: str, port: int, name: str, secret: str) -> None:
     """Loopback-mode child-process entry point (top level, so it pickles)."""
     try:
-        run_worker(host, port, name=name, connect_timeout=10.0)
-    except (ConnectionClosed, OSError):
+        run_worker(host, port, secret=secret, name=name, connect_timeout=10.0)
+    except (AuthenticationError, ConnectionClosed, OSError):
         pass

@@ -224,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
         "worker",
         help="serve a cluster coordinator: lease trial chunks, compute, "
              "stream results back (see docs/distributed.md)",
+        description="Serve a cluster coordinator: lease trial chunks, "
+                    "compute, stream results back.  Registration is "
+                    "authenticated: export REPRO_CLUSTER_SECRET with the "
+                    "same value the coordinator was started with.",
     )
     worker.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="the coordinator to register with (the engine "
@@ -569,6 +573,12 @@ def _history(args: argparse.Namespace) -> int:
 
 
 def _worker(args: argparse.Namespace) -> int:
+    from repro.analysis.cluster.protocol import (
+        SECRET_ENV,
+        AuthenticationError,
+        ConnectionClosed,
+        secret_from_env,
+    )
     from repro.analysis.cluster.worker import run_worker
 
     host, sep, port_text = args.connect.rpartition(":")
@@ -580,14 +590,25 @@ def _worker(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"--connect has a non-numeric port: {args.connect!r}"
         ) from None
+    secret = secret_from_env()
+    if not secret:
+        print(f"worker: {SECRET_ENV} is not set; export the coordinator's "
+              f"shared secret before connecting", file=sys.stderr)
+        return 2
     try:
         stats = run_worker(
             host,
             port,
+            secret=secret,
             name=args.name,
             capacity=args.capacity,
             connect_timeout=args.connect_timeout,
         )
+    except (AuthenticationError, ConnectionClosed) as exc:
+        # Reached the coordinator but was turned away (bad secret, protocol
+        # mismatch, ...): surface the rejection instead of a clean exit.
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         print(f"worker: cannot reach coordinator at {args.connect}: {exc}",
               file=sys.stderr)

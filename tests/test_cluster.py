@@ -1,14 +1,18 @@
 """Tests for the distributed socket work-queue backend (``"cluster"``).
 
-Covers the wire protocol (framing, chunk planning), the coordinator's lease
-bookkeeping against in-process thread workers (ordering, name collisions,
-failure frames, one-batch-at-a-time), the loopback backend lifecycle
-(transient vs entered, registry autoload), lease-based fault tolerance
-(killed workers requeue, stealing, all-dead abandonment), engine integration
-(worker provenance flowing into the trial store and ``kecss history --by
-worker``), the acceptance parity sweeps (cluster bit-identical to serial on
-50 seeds x every generator family, including under an injected worker
-death), and attach mode (``REPRO_CLUSTER_LISTEN`` + ``kecss worker``).
+Covers the wire protocol (framing, the frame-size cap, chunk planning, the
+shared-secret challenge), the coordinator's lease bookkeeping against
+in-process thread workers (ordering, name collisions, failure frames,
+one-batch-at-a-time), the batch epoch (stale result/error frames from a
+completed batch are dropped, not recorded into the next one), the loopback
+backend lifecycle (transient vs entered, registry autoload), lease-based
+fault tolerance (killed workers requeue, stealing, all-dead abandonment),
+engine integration (worker provenance flowing into the trial store and
+``kecss history --by worker``), the acceptance parity sweeps (cluster
+bit-identical to serial on 50 seeds x every generator family, including
+under an injected worker death), and attach mode (``REPRO_CLUSTER_LISTEN``
++ ``REPRO_CLUSTER_SECRET`` + ``kecss worker``, including surfaced
+authentication and registration failures).
 """
 
 from __future__ import annotations
@@ -23,10 +27,14 @@ import pytest
 from repro.analysis.backends import available_backends, resolve_backend
 from repro.analysis.bench import engine_provenance, trial_payload
 from repro.analysis.cluster import (
+    MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    SECRET_ENV,
+    AuthenticationError,
     ClusterBackend,
     ConnectionClosed,
     Coordinator,
+    answer_challenge,
     decode_frame,
     default_chunk_size,
     encode_frame,
@@ -82,15 +90,18 @@ def _wait_until(predicate, deadline=WAIT, message="condition never became true")
         time.sleep(0.01)
 
 
-def _thread_worker(address, name, capacity=1):
+def _thread_worker(coordinator, name, capacity=1):
     """Run :func:`run_worker` on a thread (same process: nothing to pickle)."""
     outcome = {}
+    address = coordinator.address
+    secret = coordinator.secret
 
     def target():
         outcome.update(
             run_worker(
                 address[0],
                 address[1],
+                secret=secret,
                 name=name,
                 capacity=capacity,
                 heartbeat_interval=0.2,
@@ -101,6 +112,31 @@ def _thread_worker(address, name, capacity=1):
     thread = threading.Thread(target=target, daemon=True)
     thread.start()
     return thread, outcome
+
+
+def _handshake(coordinator):
+    """Open a raw authenticated+registered test connection to *coordinator*."""
+    conn = socket.create_connection(coordinator.address)
+    answer_challenge(conn, coordinator.secret)
+    send_frame(conn, {
+        "type": "register", "proto": PROTOCOL_VERSION,
+        "name": "raw", "pid": 1, "host": "h", "capacity": 1,
+    })
+    welcome = recv_frame(conn)
+    assert welcome["type"] == "welcome"
+    return conn
+
+
+def _request_chunk(conn, deadline=WAIT):
+    """Request work on a raw connection until a chunk (not a wait) arrives."""
+    limit = time.monotonic() + deadline
+    while True:
+        send_frame(conn, {"type": "request"})
+        reply = recv_frame(conn)
+        if reply.get("type") == "chunk":
+            return reply
+        assert time.monotonic() < limit, "never leased a chunk"
+        time.sleep(0.01)
 
 
 # ----------------------------------------------------------------- protocol
@@ -156,13 +192,30 @@ class TestProtocol:
         with pytest.raises(ValueError, match="chunk size"):
             plan_chunks(5, 1, chunk_size=0)
 
+    def test_oversized_frame_header_is_rejected_before_allocation(self):
+        """A forged multi-GB length header must not provoke the allocation."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall((MAX_FRAME_BYTES + 1).to_bytes(8, "big"))
+            with pytest.raises(ConnectionClosed, match="frame too large"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+        huge = MAX_FRAME_BYTES.to_bytes(4, "big")  # truncated on purpose
+        with pytest.raises(ConnectionClosed, match="truncated"):
+            decode_frame(huge)
+        forged = (1 << 60).to_bytes(8, "big") + b"x" * 8
+        with pytest.raises(ConnectionClosed, match="frame too large"):
+            decode_frame(forged)
+
 
 # -------------------------------------------------- coordinator (thread workers)
 class TestCoordinator:
     def test_submit_returns_item_ordered_results_with_attribution(self):
         with Coordinator() as coordinator:
             threads = [
-                _thread_worker(coordinator.address, f"t{i}") for i in range(2)
+                _thread_worker(coordinator, f"t{i}") for i in range(2)
             ]
             _wait_until(lambda: len(coordinator.live_workers()) == 2)
             outcome = coordinator.submit(_square, list(range(37)))
@@ -187,13 +240,13 @@ class TestCoordinator:
     def test_duplicate_worker_names_are_uniquified(self):
         with Coordinator() as coordinator:
             for _ in range(2):
-                _thread_worker(coordinator.address, "dup")
+                _thread_worker(coordinator, "dup")
             _wait_until(lambda: len(coordinator.live_workers()) == 2)
             assert coordinator.live_workers() == ["dup", "dup-2"]
 
     def test_worker_error_frame_fails_the_batch_loudly(self):
         with Coordinator() as coordinator:
-            _thread_worker(coordinator.address, "t0")
+            _thread_worker(coordinator, "t0")
             _wait_until(lambda: coordinator.live_workers() == ["t0"])
             with pytest.raises(RuntimeError, match="(?s)worker failed.*ValueError"):
                 coordinator.submit(_boom, [1, 2, 3])
@@ -204,6 +257,7 @@ class TestCoordinator:
         with Coordinator() as coordinator:
             conn = socket.create_connection(coordinator.address)
             try:
+                answer_challenge(conn, coordinator.secret)
                 send_frame(conn, {
                     "type": "register", "proto": PROTOCOL_VERSION + 1,
                     "name": "old", "pid": 1, "host": "h", "capacity": 1,
@@ -236,7 +290,167 @@ class TestCoordinator:
             coordinator.submit(_square, [5])
 
 
-# ---------------------------------------------------------- loopback backend
+# --------------------------------------------------------------- batch epoch
+class TestBatchEpoch:
+    """Frames that outlive their batch are dropped, never recorded.
+
+    A steal victim is never told its lease was trimmed: after a batch
+    completes it can keep streaming results for stolen-tail items.  With
+    the coordinator reused across batches (``with engine:``), those frames
+    arrive while the *next* batch is in flight and pass the index bounds
+    check -- only the echoed batch epoch distinguishes them.
+    """
+
+    def _submit_in_background(self, coordinator, items, outcomes, errors):
+        def target():
+            try:
+                outcomes.append(
+                    coordinator.submit(_square, items, chunk_size=len(items))
+                )
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread
+
+    def test_stale_result_frames_are_dropped_not_recorded(self):
+        outcomes, errors = [], []
+        with Coordinator() as coordinator:
+            conn = _handshake(coordinator)
+            try:
+                first = self._submit_in_background(
+                    coordinator, [1, 2], outcomes, errors
+                )
+                chunk1 = _request_chunk(conn)
+                for index, item in zip(chunk1["indices"], chunk1["items"]):
+                    send_frame(conn, {
+                        "type": "result", "lease": chunk1["lease"],
+                        "batch": chunk1["batch"], "index": index,
+                        "result": item * item,
+                    })
+                first.join(timeout=WAIT)
+                assert outcomes[0].values == [1, 4]
+
+                second = self._submit_in_background(
+                    coordinator, [10, 20], outcomes, errors
+                )
+                chunk2 = _request_chunk(conn)
+                assert chunk2["batch"] == chunk1["batch"] + 1
+                # The stale frame targets index 0 with a poison value; it
+                # must be dropped so the fresh result is not treated as a
+                # duplicate of it.
+                send_frame(conn, {
+                    "type": "result", "lease": chunk1["lease"],
+                    "batch": chunk1["batch"], "index": 0, "result": "poison",
+                })
+                for index, item in zip(chunk2["indices"], chunk2["items"]):
+                    send_frame(conn, {
+                        "type": "result", "lease": chunk2["lease"],
+                        "batch": chunk2["batch"], "index": index,
+                        "result": item * item,
+                    })
+                second.join(timeout=WAIT)
+            finally:
+                conn.close()
+            stats = coordinator.stats()
+        assert errors == []
+        assert outcomes[1].values == [100, 400]
+        assert stats["stale_frames"] >= 1
+        assert stats["duplicates"] == 0
+
+    def test_stale_error_frames_do_not_abort_the_current_batch(self):
+        outcomes, errors = [], []
+        with Coordinator() as coordinator:
+            conn = _handshake(coordinator)
+            try:
+                # No batch in flight: an unsolicited error frame is noise.
+                send_frame(conn, {
+                    "type": "error", "batch": 999, "index": 0, "error": "boom",
+                })
+                batch = self._submit_in_background(
+                    coordinator, [3], outcomes, errors
+                )
+                chunk = _request_chunk(conn)
+                # An error tagged with the previous epoch is ignored...
+                send_frame(conn, {
+                    "type": "error", "batch": chunk["batch"] - 1,
+                    "index": 0, "error": "stale boom",
+                })
+                # ...and the in-flight batch still completes normally.
+                send_frame(conn, {
+                    "type": "result", "lease": chunk["lease"],
+                    "batch": chunk["batch"], "index": chunk["indices"][0],
+                    "result": 9,
+                })
+                batch.join(timeout=WAIT)
+            finally:
+                conn.close()
+            stats = coordinator.stats()
+        assert errors == []
+        assert outcomes and outcomes[0].values == [9]
+        assert stats["stale_frames"] >= 2
+
+    def test_current_epoch_error_frames_still_fail_the_batch(self):
+        outcomes, errors = [], []
+        with Coordinator() as coordinator:
+            conn = _handshake(coordinator)
+            try:
+                batch = self._submit_in_background(
+                    coordinator, [3], outcomes, errors
+                )
+                chunk = _request_chunk(conn)
+                send_frame(conn, {
+                    "type": "error", "batch": chunk["batch"],
+                    "index": chunk["indices"][0], "error": "real boom",
+                })
+                batch.join(timeout=WAIT)
+            finally:
+                conn.close()
+        assert outcomes == []
+        assert errors and "real boom" in errors[0]
+
+
+# ------------------------------------------------------------- authentication
+class TestAuthentication:
+    def test_wrong_secret_is_rejected_before_registration(self):
+        with Coordinator() as coordinator:
+            host, port = coordinator.address
+            with pytest.raises(AuthenticationError, match="shared secret"):
+                run_worker(host, port, secret="not-the-secret",
+                           connect_timeout=5.0)
+            assert coordinator.live_workers() == []
+
+    def test_unauthenticated_peer_never_reaches_the_frame_layer(self):
+        with Coordinator() as coordinator:
+            conn = socket.create_connection(coordinator.address)
+            try:
+                # Skip the challenge and push a register frame: the
+                # coordinator reads it as a (wrong) digest, denies, and
+                # closes without ever unpickling it.
+                send_frame(conn, {
+                    "type": "register", "proto": PROTOCOL_VERSION,
+                    "name": "intruder", "pid": 1, "host": "h", "capacity": 1,
+                })
+                conn.settimeout(WAIT)
+                with pytest.raises((ConnectionClosed, OSError)):
+                    while True:
+                        recv_frame(conn)
+            finally:
+                conn.close()
+            assert coordinator.live_workers() == []
+
+    def test_registration_rejection_surfaces_to_the_caller(self, monkeypatch):
+        import repro.analysis.cluster.worker as worker_module
+
+        monkeypatch.setattr(
+            worker_module, "PROTOCOL_VERSION", PROTOCOL_VERSION + 1
+        )
+        with Coordinator() as coordinator:
+            host, port = coordinator.address
+            with pytest.raises(ConnectionClosed, match="rejected registration"):
+                run_worker(host, port, secret=coordinator.secret,
+                           connect_timeout=5.0)
 class TestLoopbackBackend:
     def test_registry_autoloads_the_cluster_backend(self):
         assert "cluster" in available_backends()
@@ -440,12 +654,14 @@ class TestParitySweeps:
 # ----------------------------------------------------- attach mode + CLI verb
 class TestAttachModeAndWorkerCli:
     def test_attach_mode_serves_external_workers_instead_of_spawning(self):
-        backend = ClusterBackend(workers=2, listen=("127.0.0.1", 0))
+        backend = ClusterBackend(
+            workers=2, listen=("127.0.0.1", 0), secret="attach-secret"
+        )
         assert backend.attached
         with backend:
             assert backend.processes == ()
-            address = backend.coordinator.address
-            threads = [_thread_worker(address, f"ext{i}") for i in range(2)]
+            coordinator = backend.coordinator
+            threads = [_thread_worker(coordinator, f"ext{i}") for i in range(2)]
             _wait_until(lambda: len(backend.coordinator.live_workers()) == 2)
             assert backend.map(_square, range(31)) == [x * x for x in range(31)]
             assert backend.coordinator.live_workers() == ["ext0", "ext1"]
@@ -470,8 +686,22 @@ class TestAttachModeAndWorkerCli:
         with pytest.raises(ValueError, match="non-numeric port"):
             listen_address_from_env()
 
-    def test_kecss_worker_serves_a_coordinator_and_exits_cleanly(self, capsys):
+    def test_attach_mode_without_a_secret_refuses_to_listen(self, monkeypatch):
+        monkeypatch.delenv(SECRET_ENV, raising=False)
+        backend = ClusterBackend(workers=1, listen=("127.0.0.1", 0))
+        with pytest.raises(RuntimeError, match=SECRET_ENV):
+            backend.map(_square, [1])
+
+    def test_secret_env_reaches_an_attach_mode_backend(self, monkeypatch):
+        monkeypatch.setenv(SECRET_ENV, "env-secret")
+        backend = ClusterBackend(workers=1, listen=("127.0.0.1", 0))
+        assert backend.secret == "env-secret"
+
+    def test_kecss_worker_serves_a_coordinator_and_exits_cleanly(
+        self, capsys, monkeypatch
+    ):
         with Coordinator() as coordinator:
+            monkeypatch.setenv(SECRET_ENV, coordinator.secret)
             host, port = coordinator.address
             exit_codes: list[int] = []
 
@@ -497,7 +727,10 @@ class TestAttachModeAndWorkerCli:
         with pytest.raises(SystemExit, match="non-numeric"):
             kecss_main(["worker", "--connect", "host:xyz"])
 
-    def test_kecss_worker_unreachable_coordinator_is_exit_code_1(self, capsys):
+    def test_kecss_worker_unreachable_coordinator_is_exit_code_1(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(SECRET_ENV, "any-secret")
         probe = socket.socket()
         probe.bind(("127.0.0.1", 0))
         port = probe.getsockname()[1]
@@ -506,6 +739,38 @@ class TestAttachModeAndWorkerCli:
             "worker", "--connect", f"127.0.0.1:{port}", "--connect-timeout", "0.3",
         ]) == 1
         assert "cannot reach coordinator" in capsys.readouterr().err
+
+    def test_kecss_worker_without_the_secret_env_is_a_usage_error(
+        self, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(SECRET_ENV, raising=False)
+        assert kecss_main(["worker", "--connect", "127.0.0.1:1"]) == 2
+        assert SECRET_ENV in capsys.readouterr().err
+
+    def test_kecss_worker_wrong_secret_is_surfaced_and_exit_code_1(
+        self, capsys, monkeypatch
+    ):
+        with Coordinator() as coordinator:
+            monkeypatch.setenv(SECRET_ENV, "definitely-wrong")
+            host, port = coordinator.address
+            assert kecss_main(["worker", "--connect", f"{host}:{port}"]) == 1
+        assert "shared secret" in capsys.readouterr().err
+
+    def test_kecss_worker_registration_rejection_is_exit_code_1(
+        self, capsys, monkeypatch
+    ):
+        import repro.analysis.cluster.worker as worker_module
+
+        monkeypatch.setattr(
+            worker_module, "PROTOCOL_VERSION", PROTOCOL_VERSION + 1
+        )
+        with Coordinator() as coordinator:
+            monkeypatch.setenv(SECRET_ENV, coordinator.secret)
+            host, port = coordinator.address
+            assert kecss_main(["worker", "--connect", f"{host}:{port}"]) == 1
+        err = capsys.readouterr().err
+        assert "rejected registration" in err
+        assert "computed 0 item(s)" not in err
 
 
 def test_baseline_payload_with_workers_is_valid_json(tmp_path):
