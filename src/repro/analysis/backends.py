@@ -21,6 +21,10 @@ Four backends ship by default:
   (loopback worker processes by default, external ``kecss worker`` peers
   via ``REPRO_CLUSTER_LISTEN``); registered lazily through
   :data:`_BACKEND_AUTOLOAD` so importing this module stays cheap.
+* ``"failover"`` -- the graceful-degradation chain of
+  :mod:`repro.analysis.faults` (``cluster -> processes -> serial``), also
+  autoloaded; infrastructure failures fall through the chain instead of
+  failing the sweep, and every degradation is recorded into provenance.
 
 Backends may optionally be context managers: entering one acquires a
 persistent resource (an executor pool, a coordinator plus its workers)
@@ -84,6 +88,7 @@ BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {}
 #: of the heavier backends' dependencies (multiprocessing, sockets).
 _BACKEND_AUTOLOAD: dict[str, str] = {
     "cluster": "repro.analysis.cluster.backend",
+    "failover": "repro.analysis.faults",
 }
 
 

@@ -109,7 +109,7 @@ def engine_provenance(engine: ExperimentEngine, experiment_id: str) -> dict:
     backend_name = engine.backend if isinstance(engine.backend, str) else (
         getattr(engine.backend, "name", None) if engine.backend is not None else None
     )
-    return {
+    provenance = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "code_version": code_version_for(experiment_id),
@@ -121,6 +121,17 @@ def engine_provenance(engine: ExperimentEngine, experiment_id: str) -> dict:
             "caching": engine.caching,
         },
     }
+    # Graceful degradation is auditable, never silent: when the resolved
+    # backend is a FailoverBackend that fell down its chain, the recorded
+    # events (degraded_from/to/reason each) travel with the results into
+    # baselines and store run manifests.
+    degradations = list(
+        getattr(getattr(engine, "_resolved_backend", None), "degradations", ())
+        or ()
+    )
+    if degradations:
+        provenance["degraded_from"] = degradations
+    return provenance
 
 
 def build_baseline(

@@ -31,12 +31,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import secrets as _secrets
+import time
 from dataclasses import dataclass
 
 from repro.analysis.backends import register_backend
 from repro.analysis.cluster.coordinator import Coordinator
 from repro.analysis.cluster.protocol import SECRET_ENV, secret_from_env
 from repro.analysis.cluster.worker import _worker_process_main
+from repro.analysis.engine import TrialJob
 from repro.analysis.runner import TrialResult
 
 __all__ = ["ClusterBackend", "listen_address_from_env"]
@@ -44,6 +46,26 @@ __all__ = ["ClusterBackend", "listen_address_from_env"]
 #: Environment switch into attach mode: ``HOST:PORT`` to bind and serve
 #: external ``kecss worker`` processes instead of spawning loopback ones.
 LISTEN_ENV = "REPRO_CLUSTER_LISTEN"
+
+#: Environment fallback for ``heartbeat_timeout`` (seconds, must be > 0);
+#: ``kecss experiment/bench --heartbeat-timeout`` sets it for the run.
+HEARTBEAT_ENV = "REPRO_CLUSTER_HEARTBEAT"
+
+
+def heartbeat_timeout_from_env() -> float | None:
+    """Parse :data:`HEARTBEAT_ENV` (seconds > 0); ``None`` when unset."""
+    raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{HEARTBEAT_ENV} expects seconds, got {raw!r}"
+        ) from None
+    if not value > 0:  # rejects NaN too
+        raise ValueError(f"{HEARTBEAT_ENV} must be > 0, got {raw!r}")
+    return value
 
 
 def listen_address_from_env() -> tuple[str, int] | None:
@@ -85,6 +107,23 @@ class ClusterBackend:
             :func:`~repro.analysis.cluster.protocol.default_chunk_size`.
         heartbeat_timeout: Seconds of worker silence before its leases
             requeue (socket EOF is caught immediately regardless).
+            ``None`` resolves ``$REPRO_CLUSTER_HEARTBEAT``, then 10.0;
+            must be > 0.
+        max_item_requeues: Poison-chunk strike bound forwarded to the
+            coordinator; an item whose worker dies more than this many
+            times is abandoned and surfaced as ``TrialResult.error``.
+        startup_timeout: Attach mode only: fail ``map`` with
+            ``RuntimeError`` when no worker registers within this many
+            seconds, instead of waiting forever on an empty cluster.
+            ``None`` (default) keeps the historical wait-forever behaviour;
+            the ``failover`` backend sets it so a worker-less cluster
+            degrades instead of hanging.
+        retry: A :class:`~repro.analysis.faults.RetryPolicy` re-running a
+            failed batch on a *fresh* cluster (coordinator and loopback
+            workers are torn down before each retry).  Only infrastructure
+            failures retry -- trial exceptions travel inside
+            ``TrialResult.error`` and never raise from ``map``.  Safe
+            because recomputation is bit-identical.
         secret: Shared secret every worker must prove (HMAC challenge)
             before the coordinator deserializes anything it sends.  Default
             ``$REPRO_CLUSTER_SECRET``; loopback mode falls back to a random
@@ -99,8 +138,11 @@ class ClusterBackend:
     name: str = "cluster"
     listen: tuple[str, int] | None = None
     chunk_size: int | None = None
-    heartbeat_timeout: float = 10.0
+    heartbeat_timeout: float | None = None
     secret: str | None = None
+    max_item_requeues: int = 3
+    startup_timeout: float | None = None
+    retry: "RetryPolicy | None" = None  # noqa: F821 -- repro.analysis.faults
 
     # Runtime state, not configuration (class attributes, not dataclass
     # fields, so construction stays cheap and side-effect free).
@@ -114,6 +156,13 @@ class ClusterBackend:
             self.listen = listen_address_from_env()
         if self.secret is None:
             self.secret = secret_from_env()
+        if self.heartbeat_timeout is None:
+            env_value = heartbeat_timeout_from_env()
+            self.heartbeat_timeout = 10.0 if env_value is None else env_value
+        if not self.heartbeat_timeout > 0:  # rejects NaN too
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {self.heartbeat_timeout!r}"
+            )
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -158,6 +207,7 @@ class ClusterBackend:
             # External workers may roll or reconnect, so attach mode waits.
             abandon_when_no_workers=not self.attached,
             secret=secret,
+            max_item_requeues=self.max_item_requeues,
         ).start()
         if not self.attached:
             context = _fork_context()
@@ -194,19 +244,55 @@ class ClusterBackend:
         self._entered = False
         self._stop()
 
+    def _await_workers(self) -> None:
+        """Attach-mode fail-fast: require a worker within ``startup_timeout``.
+
+        Without the bound, an attach-mode coordinator nobody connects to
+        waits forever by design; with it, ``map`` raises instead, which the
+        ``failover`` backend turns into a degradation.
+        """
+        if not self.attached or self.startup_timeout is None:
+            return
+        deadline = time.monotonic() + self.startup_timeout
+        while not self.coordinator.live_workers():
+            if time.monotonic() >= deadline:
+                raise RuntimeError(
+                    f"no workers registered with the cluster coordinator "
+                    f"within {self.startup_timeout:.1f}s"
+                )
+            time.sleep(0.02)
+
     # ------------------------------------------------------------- execution
     def map(self, function, items):
         """Fan *items* out over the cluster; results come back in item order.
 
         Outside a ``with`` block the cluster is transient (started and torn
         down around this one call); entered, it persists across calls so
-        worker startup amortises over a whole engine sweep.
+        worker startup amortises over a whole engine sweep.  With ``retry``
+        set, an infrastructure failure tears the cluster down and re-runs
+        the whole batch on a fresh one.
         """
         items = list(items)
         if not items:
             return []
+        if self.retry is None:
+            return self._map_attempt(function, items)
+
+        def attempt():
+            try:
+                return self._map_attempt(function, items)
+            except (RuntimeError, OSError):
+                # A retry must not reuse a coordinator whose workers died:
+                # tear everything down so the next attempt starts fresh.
+                self._stop()
+                raise
+
+        return self.retry.call(attempt)
+
+    def _map_attempt(self, function, items) -> list:
         self._start()
         try:
+            self._await_workers()
             outcome = self.coordinator.submit(
                 function, items, chunk_size=self.chunk_size
             )
@@ -214,6 +300,31 @@ class ClusterBackend:
             if not self._entered:
                 self._stop()
         values = outcome.values
+        for entry in outcome.poisoned:
+            # Poison-chunk surfacing: the coordinator abandoned this item
+            # after its requeue bound.  For engine jobs that becomes a
+            # per-trial error; for plain mapped items there is no error
+            # channel, so the whole map fails loudly.
+            index = entry["index"]
+            item = items[index]
+            if not isinstance(item, TrialJob):
+                raise RuntimeError(
+                    f"item {index} was abandoned as a poison chunk after "
+                    f"{entry['strikes']} worker death(s) "
+                    f"(max_item_requeues={self.max_item_requeues})"
+                )
+            values[index] = TrialResult(
+                config=item.config_dict,
+                seed=item.seed,
+                metrics={},
+                error=(
+                    f"poison chunk: trial abandoned after killing "
+                    f"{entry['strikes']} worker(s) in a row (last: "
+                    f"{entry['worker']!r}, max_item_requeues="
+                    f"{self.max_item_requeues})"
+                ),
+                index=item.index,
+            )
         for index, value in enumerate(values):
             # Provenance: which worker actually computed each trial.  Only
             # TrialResult carries the field; plain mapped values pass through.

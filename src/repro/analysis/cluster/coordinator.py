@@ -63,10 +63,14 @@ class BatchOutcome:
     ``worker_of[i]`` names the worker whose result for item ``i`` was
     recorded (the first to report it, when stealing or a requeue duplicated
     the work); the engine layer copies it onto ``TrialResult.worker``.
+    ``poisoned`` lists the items abandoned under the poison-chunk policy
+    (``{"index", "strikes", "worker"}`` each); their ``values`` slots are
+    ``None``, and the backend layer converts them to ``TrialResult.error``.
     """
 
     values: list
     worker_of: list
+    poisoned: list = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.values)
@@ -113,6 +117,14 @@ class Coordinator:
             has died and none remain.  Loopback mode sets this (its workers
             are child processes; nobody new will connect), attach mode
             leaves it off so a batch survives a rolling worker restart.
+        max_item_requeues: Poison-chunk bound.  Each time a worker dies, the
+            item it was computing (the first unfinished index of the dying
+            lease -- results stream front-to-back) takes a *strike*; an item
+            exceeding this many strikes is abandoned instead of requeued,
+            recorded in ``BatchOutcome.poisoned`` and the ``poisoned``
+            counter, so one poison input that kills every worker it touches
+            surfaces as a per-trial error instead of grinding the cluster
+            forever.
         secret: Shared secret every connection must prove (HMAC challenge)
             before any frame is deserialized.  ``None`` generates a random
             per-coordinator secret, readable from :attr:`secret` -- right
@@ -132,11 +144,19 @@ class Coordinator:
         busy_delay: float = 0.02,
         abandon_when_no_workers: bool = False,
         secret: str | bytes | None = None,
+        max_item_requeues: int = 3,
     ) -> None:
+        if not heartbeat_timeout > 0:  # rejects NaN too
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout!r}"
+            )
+        if max_item_requeues < 0:
+            raise ValueError("max_item_requeues must be >= 0")
         self._bind = (host, port)
         self._secret = secret if secret else secrets.token_hex(16)
         self._expected_capacity = max(1, expected_capacity)
         self._heartbeat_timeout = heartbeat_timeout
+        self._max_item_requeues = max_item_requeues
         self._idle_delay = idle_delay
         self._busy_delay = busy_delay
         self._abandon = abandon_when_no_workers
@@ -156,6 +176,7 @@ class Coordinator:
             "stale_frames": 0,
             "dead_workers": 0,
             "total_completed": 0,
+            "poisoned": 0,
         }
 
         # Per-batch state; ``_function is None`` means no batch in flight.
@@ -173,6 +194,8 @@ class Coordinator:
         self._remaining = 0
         self._queue: deque = deque()
         self._leases: dict[int, _Lease] = {}
+        self._requeues: dict[int, int] = {}  # item index -> strike count
+        self._poisoned: list = []
         self._failure: str | None = None
         self._done = threading.Event()
 
@@ -258,6 +281,8 @@ class Coordinator:
                 for start, stop in plan_chunks(len(items), capacity, chunk_size)
             )
             self._leases.clear()
+            self._requeues = {}
+            self._poisoned = []
             self._done.clear()
         abandoned = 0
         try:
@@ -276,6 +301,7 @@ class Coordinator:
             with self._lock:
                 results = self._results
                 worker_of = self._worker_of
+                poisoned = self._poisoned
                 failure = self._failure
                 complete = self._remaining == 0
                 closed = self._closed
@@ -287,6 +313,8 @@ class Coordinator:
                 self._remaining = 0
                 self._queue.clear()
                 self._leases.clear()
+                self._requeues = {}
+                self._poisoned = []
                 for worker in self._workers.values():
                     worker.leases.clear()
         if failure is not None:
@@ -299,7 +327,7 @@ class Coordinator:
             )
         if closed and not complete:
             raise RuntimeError("coordinator was closed mid-batch")
-        return BatchOutcome(results, worker_of)
+        return BatchOutcome(results, worker_of, poisoned)
 
     def stats(self) -> dict:
         """Counters and per-worker accounting (for tests, logs and docs)."""
@@ -457,22 +485,42 @@ class Coordinator:
         stealing from the tail minimises doubly-computed items; duplicates
         are byte-identical and deduplicated first-wins either way.  Caller
         holds the lock.
+
+        Two passes.  The normal pass steals only from *other* workers'
+        leases with at least two unfinished items -- the cheap, common case.
+        When it finds nothing, the relaxed pass reclaims the *thief's own*
+        leases down to a single unfinished item: on a lossy link a dropped
+        ``chunk`` or ``result`` frame orphans a lease whose owner will never
+        report it, and that owner is exactly the worker now asking for more
+        work (a worker only requests while idle, so any lease it still holds
+        is orphaned, never mid-compute).  Without relaxation the batch would
+        deadlock on work nobody is computing.  The relaxed pass deliberately
+        never touches *another* worker's last unfinished item: that item may
+        be mid-compute on a live worker, and duplicating it would both waste
+        work and let a poison item kill an unbounded number of thieves
+        before the requeue strike bound can retire it; if its owner really
+        is gone, the heartbeat timeout retires the owner and requeues the
+        lease instead.
         """
-        victim: _Lease | None = None
-        victim_remaining: list = []
-        for lease in self._leases.values():
-            if lease.worker == thief.name:
+        for relaxed in (False, True):
+            victim: _Lease | None = None
+            victim_remaining: list = []
+            floor = 1 if relaxed else 2
+            for lease in self._leases.values():
+                if (lease.worker == thief.name) is not relaxed:
+                    continue
+                remaining = [i for i in lease.indices if not self._filled[i]]
+                if len(remaining) >= floor and len(remaining) > len(victim_remaining):
+                    victim, victim_remaining = lease, remaining
+            if victim is None:
                 continue
-            remaining = [i for i in lease.indices if not self._filled[i]]
-            if len(remaining) >= 2 and len(remaining) > len(victim_remaining):
-                victim, victim_remaining = lease, remaining
-        if victim is None:
-            return None
-        stolen = victim_remaining[len(victim_remaining) - len(victim_remaining) // 2:]
-        keep = set(victim.indices) - set(stolen)
-        victim.indices = [i for i in victim.indices if i in keep]
-        self._counters["steals"] += 1
-        return stolen
+            take = max(1, len(victim_remaining) // 2)
+            stolen = victim_remaining[-take:]
+            keep = set(victim.indices) - set(stolen)
+            victim.indices = [i for i in victim.indices if i in keep]
+            self._counters["steals"] += 1
+            return stolen
+        return None
 
     def _lease_out(self, worker: _Worker, indices: list) -> dict:
         """Build the chunk reply for *indices*.  Caller holds the lock."""
@@ -535,7 +583,15 @@ class Coordinator:
             self._done.set()
 
     def _retire(self, worker: _Worker) -> None:
-        """Mark *worker* dead and requeue the unfinished part of its leases."""
+        """Mark *worker* dead and requeue the unfinished part of its leases.
+
+        Poison-chunk bound: the first unfinished index of each dying lease
+        is the item the worker was computing when it died (results stream
+        front-to-back), so that item takes a strike.  Past
+        ``max_item_requeues`` strikes it is abandoned -- marked filled with
+        a ``None`` value, recorded in the batch's poisoned list and the
+        ``poisoned`` counter -- and only the rest of the lease requeues.
+        """
         with self._lock:
             if not worker.alive:
                 return
@@ -546,6 +602,22 @@ class Coordinator:
                 if lease is None or self._function is None:
                     continue
                 remaining = [i for i in lease.indices if not self._filled[i]]
+                if remaining:
+                    suspect = remaining[0]
+                    strikes = self._requeues.get(suspect, 0) + 1
+                    self._requeues[suspect] = strikes
+                    if strikes > self._max_item_requeues:
+                        self._filled[suspect] = True
+                        self._poisoned.append({
+                            "index": suspect,
+                            "strikes": strikes,
+                            "worker": worker.name,
+                        })
+                        self._counters["poisoned"] += 1
+                        self._remaining -= 1
+                        if self._remaining == 0:
+                            self._done.set()
+                        remaining = remaining[1:]
                 if remaining:
                     # Front of the queue: a died-with lease is the oldest
                     # outstanding work, so it should not wait behind the tail.

@@ -31,6 +31,7 @@ loopback mode spawns.
 from __future__ import annotations
 
 import os
+import select
 import socket
 import threading
 import time
@@ -48,23 +49,56 @@ from repro.analysis.cluster.protocol import (
 __all__ = ["run_worker"]
 
 
-def _connect(host: str, port: int, timeout: float) -> socket.socket:
-    """Dial the coordinator, retrying until *timeout* seconds have passed.
+def _connect(host: str, port: int, timeout: float, policy=None) -> socket.socket:
+    """Dial the coordinator, retrying with backoff until *timeout* passes.
 
     Retrying absorbs the startup race where workers launch before the
     coordinator binds (the CI smoke step backgrounds the workers first).
+    *policy* is a :class:`~repro.analysis.faults.RetryPolicy` supplying the
+    backoff schedule; the deadline stays authoritative, and the final
+    ``ConnectionError`` carries the last underlying socket error instead of
+    discarding it.
     """
+    if policy is None:
+        # Lazy: faults.py imports the cluster package, so a module-level
+        # import here would be circular.
+        from repro.analysis.faults import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=None, base_delay=0.1, max_delay=1.0)
     deadline = time.monotonic() + timeout
-    while True:
+    attempts = 0
+    last: OSError | None = None
+    for delay in policy.backoff():
+        attempts += 1
         try:
             conn = socket.create_connection((host, port), timeout=10.0)
             conn.settimeout(None)
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             return conn
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(0.2)
+        except OSError as exc:
+            last = exc
+            if time.monotonic() + delay >= deadline:
+                break
+            time.sleep(delay)
+    raise ConnectionError(
+        f"could not reach coordinator at {host}:{port} within {timeout:.1f}s "
+        f"({attempts} attempt(s)); last error: {last}"
+    ) from last
+
+
+def _recv_reply(conn: socket.socket, timeout: float):
+    """One frame, or ``None`` when no reply *starts* within *timeout*.
+
+    Readiness is checked with ``select`` rather than ``settimeout`` so the
+    heartbeat thread's concurrent sends on the same socket never inherit a
+    receive deadline.  Once the first byte is readable the frame is read to
+    completion without a timeout: frames are sent with a single ``sendall``,
+    so a started frame either completes or the connection dies (EOF).
+    """
+    readable, _, _ = select.select([conn], [], [], timeout)
+    if not readable:
+        return None
+    return recv_frame(conn)
 
 
 def run_worker(
@@ -76,6 +110,8 @@ def run_worker(
     capacity: int = 1,
     heartbeat_interval: float = 2.0,
     connect_timeout: float = 30.0,
+    request_timeout: float = 10.0,
+    fault_hook=None,
 ) -> dict:
     """Serve one coordinator until it shuts down; returns ``{name, computed}``.
 
@@ -85,6 +121,16 @@ def run_worker(
     is rejected (e.g. a protocol-version mismatch).  Everything after a
     successful registration is graceful: a vanished coordinator ends the
     loop instead of raising.
+
+    A ``request`` whose reply never arrives within *request_timeout* seconds
+    is re-sent: on a lossy link (the chaos proxy drops frames) the reply may
+    simply be gone, and re-requesting is idempotent -- the coordinator hands
+    out a fresh lease, and any lease orphaned by a dropped chunk frame is
+    recovered through work stealing.  *fault_hook*, when given, is called
+    with the running computed-item count before each item; it is the fault
+    plan's injection point for scripted crash/hang/slow worker faults and is
+    deliberately *outside* the per-item exception capture, so an injected
+    crash kills the worker rather than becoming a trial error.
     """
     conn = _connect(host, port, connect_timeout)
     send_lock = threading.Lock()
@@ -136,7 +182,9 @@ def run_worker(
 
         while True:
             _send({"type": "request"})
-            message = recv_frame(conn)
+            message = _recv_reply(conn, request_timeout)
+            if message is None:
+                continue  # reply lost on the wire; re-request (idempotent)
             if not isinstance(message, dict):
                 continue
             kind = message.get("type")
@@ -147,6 +195,8 @@ def run_worker(
                 # arrive after this batch already completed (stolen tails).
                 batch = message.get("batch")
                 for index, item in zip(message["indices"], message["items"]):
+                    if fault_hook is not None:
+                        fault_hook(computed)
                     try:
                         result = function(item)
                     except BaseException:  # noqa: BLE001 -- relayed, not hidden

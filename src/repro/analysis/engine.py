@@ -40,9 +40,12 @@ import traceback
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from repro.analysis.backends import ExecutionBackend, resolve_backend
+
+if TYPE_CHECKING:  # pragma: no cover -- import would be circular at runtime
+    from repro.analysis.faults import RetryPolicy
 from repro.analysis.code_version import code_version_for
 from repro.analysis.runner import TrialResult, derive_seed
 
@@ -190,6 +193,14 @@ class ExperimentEngine:
             recorders and result stores (:mod:`repro.store`) attach to
             without subclassing the execution path; observers run in the
             driving process regardless of backend.
+        retry_policy: A :class:`~repro.analysis.faults.RetryPolicy` applied
+            to the backend ``map`` call.  Anything ``map`` *raises* is an
+            infrastructure failure -- trial exceptions are captured into
+            ``TrialResult.error`` inside :func:`_execute_trial` and never
+            raise -- so retrying re-runs only transiently failed batches,
+            never failing trials, and recomputation is bit-identical
+            (seeds are derived up front).  ``None`` (default) keeps the
+            historical fail-fast behaviour.
 
     The engine is also a context manager: ``with engine:`` resolves the
     backend once and enters it (when it supports a lifecycle), so one
@@ -210,6 +221,7 @@ class ExperimentEngine:
     observers: list[Callable[["TrialJob", TrialResult], None]] = field(
         default_factory=list
     )
+    retry_policy: "RetryPolicy | None" = None
 
     # Runtime backend state (class attributes, not dataclass fields: they
     # are lifecycle bookkeeping, not configuration).
@@ -367,9 +379,17 @@ class ExperimentEngine:
 
         if pending:
             backend = self._backend_instance()
-            executed = backend.map(
-                partial(_execute_trial, trial), [job for _, job in pending]
-            )
+            function = partial(_execute_trial, trial)
+            batch = [job for _, job in pending]
+            if self.retry_policy is None:
+                executed = backend.map(function, batch)
+            else:
+                # Infrastructure retries only: trial exceptions travel as
+                # TrialResult.error data and never raise through map, and a
+                # re-run recomputes bit-identical results (up-front seeds).
+                executed = self.retry_policy.call(
+                    lambda: backend.map(function, batch)
+                )
             if len(executed) != len(pending):
                 raise RuntimeError(
                     f"backend {backend.name!r} returned {len(executed)} results "

@@ -1,0 +1,757 @@
+"""Deterministic fault injection, retries, and graceful degradation.
+
+Production clusters fail in ways a single worker-death test never exercises:
+frames vanish on a lossy link, connections die mid-frame, a worker hangs
+with its heartbeat still beating, a poison input kills every worker that
+leases it, a store writer crashes between a column file and its manifest.
+This module makes all of those failures *injectable, deterministic and
+replayable* -- and supplies the recovery layer the rest of the system uses
+when they happen for real:
+
+* :class:`FaultPlan` -- a seeded fault schedule.  Every per-frame decision
+  is a pure function of ``(seed, scope, frame index)`` (hash-derived RNG,
+  no shared mutable generator), so thread interleaving and socket timing
+  cannot perturb it: two runs with the same seed produce the identical
+  schedule.  The plan also scripts worker faults (crash / hang / slow at
+  item K) and store crash points.
+* :class:`ChaosProxy` -- a TCP proxy wedged between workers and the
+  coordinator that applies the plan frame by frame: pass, drop, delay,
+  truncate (mid-frame cut + sever), or sever at frame N.  The fixed-size
+  HMAC handshake is relayed verbatim; after it the proxy parses the
+  8-byte length framing so faults land on whole-frame boundaries.
+* :class:`RetryPolicy` -- shared exponential backoff with seeded jitter
+  and retryable-vs-fatal classification, used by ``worker._connect``,
+  cluster dispatch (:class:`~repro.analysis.cluster.backend.ClusterBackend`
+  ``retry=``) and engine-level transient-infrastructure retries
+  (``ExperimentEngine.retry_policy``).  Trial exceptions are **never**
+  retried -- they are captured into ``TrialResult.error`` and travel as
+  data, so anything a backend ``map`` *raises* is infrastructure.
+* :class:`FailoverBackend` -- graceful degradation: a sticky backend chain
+  (default ``cluster -> processes -> serial``) registered as
+  ``"failover"``.  When a stage fails at the infrastructure level (the
+  cluster never registers a worker, or loses every worker mid-batch), the
+  whole batch re-runs on the next stage -- safe because seeds are derived
+  up front, so every backend computes bit-identical results -- and the
+  degradation is recorded as an auditable event that
+  :func:`repro.analysis.bench.engine_provenance` copies into baselines and
+  store run manifests (``degraded_from``).
+* Store crash-point plumbing (:func:`store_crash_hook`,
+  :func:`crash_store_at`, :func:`record_store_crash_points`) driving the
+  named ``_crash_point`` sites in :mod:`repro.store.store`, so the
+  ``kecss store fsck`` recovery path is tested against *every* partial
+  write a real crash can leave behind.
+
+The one invariant every recovery path leans on: trial seeds are derived up
+front, so recomputing an item -- after a drop, a steal, a requeue, or a
+whole-batch failover -- yields byte-identical results.  Chaos runs are
+therefore required to match ``"serial"`` exactly; see
+``tests/test_faults.py`` and ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.analysis.backends import register_backend, resolve_backend
+from repro.analysis.cluster import protocol as _protocol
+from repro.analysis.cluster.protocol import AuthenticationError, ConnectionClosed
+
+__all__ = [
+    "RetryPolicy",
+    "WorkerFault",
+    "FaultPlan",
+    "ChaosProxy",
+    "FailoverBackend",
+    "InjectedWorkerCrash",
+    "InjectedCrash",
+    "run_chaos_batch",
+    "store_crash_hook",
+    "crash_store_at",
+    "record_store_crash_points",
+]
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised by a :class:`FaultPlan` worker hook to kill a worker abruptly.
+
+    ``run_worker`` only treats ``ConnectionClosed``/``OSError`` as graceful,
+    so this propagates out of the serve loop, the socket closes, and the
+    coordinator sees the same EOF a ``SIGKILL`` would produce.
+    """
+
+
+class InjectedCrash(RuntimeError):
+    """Raised at a store crash point to simulate a writer dying mid-commit."""
+
+
+# --------------------------------------------------------------------- retry
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and error classification.
+
+    Attributes:
+        max_attempts: Total attempts (first try included); ``None`` retries
+            without an attempt bound (callers impose a deadline instead,
+            e.g. ``worker._connect``).
+        base_delay / multiplier / max_delay: Delay before retry *i* is
+            ``min(max_delay, base_delay * multiplier**i)``.
+        jitter: Fraction of each delay added as seeded noise (decorrelates
+            a fleet of workers reconnecting after the same outage).  The
+            jitter stream comes from ``random.Random(seed)``, so a policy's
+            delay sequence is deterministic and replayable.
+        retry_on: Exception types worth retrying.  The default (``OSError``)
+            covers every socket-level failure; use :meth:`infrastructure`
+            for backend dispatch, where cluster failures surface as
+            ``RuntimeError``.
+        fatal: Exception types never retried even when ``retry_on`` matches
+            a base class.  A failed shared-secret challenge is the default:
+            retrying a wrong secret can only fail again.
+
+    Trial-level failures never reach a policy: the engine captures them
+    into ``TrialResult.error``, so anything *raised* through ``map`` is an
+    infrastructure failure, and re-running is safe (bit-identical results).
+    """
+
+    max_attempts: int | None = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_on: tuple = (OSError,)
+    fatal: tuple = (AuthenticationError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None for unbounded)")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+
+    @classmethod
+    def infrastructure(cls, **overrides) -> "RetryPolicy":
+        """Preset for backend dispatch: cluster infrastructure failures are
+        ``RuntimeError`` (every worker died, closed mid-batch), transport
+        failures ``OSError``."""
+        overrides.setdefault("retry_on", (RuntimeError, OSError))
+        return cls(**overrides)
+
+    def backoff(self) -> Iterator[float]:
+        """The (unbounded) seeded delay stream; callers slice what they need."""
+        rng = random.Random(self.seed)
+        attempt = 0
+        while True:
+            delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+            yield delay * (1.0 + self.jitter * rng.random())
+            attempt += 1
+
+    def delays(self, count: int) -> list[float]:
+        """The first *count* retry delays (deterministic given ``seed``)."""
+        stream = self.backoff()
+        return [next(stream) for _ in range(count)]
+
+    def classify(self, exc: BaseException) -> bool:
+        """True when *exc* is worth retrying under this policy."""
+        if isinstance(exc, self.fatal):
+            return False
+        return isinstance(exc, self.retry_on)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Callable[[int, BaseException, float], None] | None = None,
+    ):
+        """Invoke *fn*, retrying retryable failures with backoff.
+
+        Fatal and unclassified exceptions propagate immediately; the last
+        retryable exception propagates once attempts are exhausted.
+        *on_retry* (attempt number, exception, upcoming delay) observes each
+        retry -- tests use it, callers may log through it.
+        """
+        stream = self.backoff()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 -- classified below
+                if not self.classify(exc):
+                    raise
+                if self.max_attempts is not None and attempt >= self.max_attempts:
+                    raise
+                delay = next(stream)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)
+
+
+# ---------------------------------------------------------------- fault plan
+def _event_rng(seed: int, *parts: object) -> random.Random:
+    """A generator derived purely from ``(seed, *parts)``.
+
+    Hash-derived (not drawn from a shared sequential stream) so the decision
+    for one event is independent of how many *other* events any thread asked
+    about first -- the property that makes a chaos schedule replayable under
+    nondeterministic socket timing.
+    """
+    payload = "|".join(["kecss-fault", str(seed), *[str(part) for part in parts]])
+    digest = hashlib.sha256(payload.encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scripted worker fault: at the *at_item*-th computed item,
+    ``crash`` (abrupt socket death), ``hang`` (sleep *seconds* while the
+    heartbeat keeps beating -- recoverable only by stealing), or ``slow``
+    (sleep *seconds*, then continue)."""
+
+    worker: str
+    at_item: int
+    kind: str = "crash"
+    seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang", "slow"):
+            raise ValueError(f"unknown worker fault kind {self.kind!r}")
+
+
+#: Frame actions a plan can schedule (``frame_action`` return values).
+FRAME_ACTIONS = ("pass", "drop", "delay", "truncate", "sever")
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, replayable fault schedule.
+
+    Frame-level faults are rate-based and decided by :func:`_event_rng`
+    over ``(seed, scope, index)`` -- a pure function, so
+    :meth:`frame_action` (and hence :meth:`schedule`) is identical across
+    runs and query orders.  ``scope`` names one proxied stream direction
+    (``"conn0:w2c"`` is worker->coordinator bytes of the first accepted
+    connection); which physical worker lands on which connection ordinal
+    depends on arrival order, which tests make deterministic by starting
+    workers one at a time.
+
+    Attributes:
+        seed: The fault seed; everything rate-based derives from it.
+        drop_rate / delay_rate: Per-frame probabilities (drop wins ties).
+        delay_seconds: Forwarding delay applied to ``delay`` frames.
+        truncate_at / sever_at: Scripted ``scope -> frame index`` cuts; a
+            truncated frame forwards its header plus half the payload and
+            then severs (a desynced stream cannot be resumed).
+        protect_first: Frame indices below this always pass, so the
+            register/welcome exchange survives and every worker joins the
+            cluster before chaos starts (set 0 for full chaos).
+        worker_faults: Scripted :class:`WorkerFault` entries, applied by
+            :meth:`worker_hook`.
+        crash_points: Store crash-point names :meth:`store_hook` kills the
+            writer at (see ``repro.store.store._crash_point``).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_seconds: float = 0.02
+    truncate_at: Mapping[str, int] = field(default_factory=dict)
+    sever_at: Mapping[str, int] = field(default_factory=dict)
+    protect_first: int = 2
+    worker_faults: tuple = ()
+    crash_points: frozenset = frozenset()
+    #: Audit log of injected faults, in injection order.  Not part of the
+    #: schedule (which is pure); this records what actually fired.
+    events: list = field(default_factory=list, repr=False, compare=False)
+    _events_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.drop_rate <= 1 or not 0 <= self.delay_rate <= 1:
+            raise ValueError("fault rates must be within [0, 1]")
+        if self.drop_rate + self.delay_rate > 1:
+            raise ValueError("drop_rate + delay_rate must not exceed 1")
+
+    # ------------------------------------------------------------- schedule
+    def frame_action(self, scope: str, index: int) -> str:
+        """The scheduled action for frame *index* of *scope* (pure)."""
+        if self.sever_at.get(scope) == index:
+            return "sever"
+        if self.truncate_at.get(scope) == index:
+            return "truncate"
+        if index < self.protect_first:
+            return "pass"
+        if not (self.drop_rate or self.delay_rate):
+            return "pass"
+        roll = _event_rng(self.seed, "frame", scope, index).random()
+        if roll < self.drop_rate:
+            return "drop"
+        if roll < self.drop_rate + self.delay_rate:
+            return "delay"
+        return "pass"
+
+    def schedule(self, scopes: Sequence[str], frames: int) -> dict[str, list[str]]:
+        """The full frame schedule, for replay comparison and audit."""
+        return {
+            scope: [self.frame_action(scope, index) for index in range(frames)]
+            for scope in scopes
+        }
+
+    def record(self, kind: str, **detail: object) -> None:
+        """Append one fired-fault event to the audit log (thread-safe)."""
+        with self._events_lock:
+            self.events.append({"kind": kind, **detail})
+
+    # ---------------------------------------------------------------- hooks
+    def worker_hook(self, name: str) -> Callable[[int], None] | None:
+        """The per-item fault hook for worker *name* (``None`` when unscripted).
+
+        ``run_worker`` calls the hook with its running computed-item count
+        before each item; the hook sleeps (``slow`` / ``hang``) or raises
+        :class:`InjectedWorkerCrash` (``crash``), which run_worker does not
+        catch -- the socket closes and the coordinator sees a real death.
+        """
+        scripted = {
+            fault.at_item: fault
+            for fault in self.worker_faults
+            if fault.worker == name
+        }
+        if not scripted:
+            return None
+
+        def hook(count: int) -> None:
+            fault = scripted.get(count)
+            if fault is None:
+                return
+            self.record(fault.kind, worker=name, item=count)
+            if fault.kind == "crash":
+                raise InjectedWorkerCrash(
+                    f"injected crash in worker {name!r} at item {count}"
+                )
+            time.sleep(fault.seconds)
+
+        return hook
+
+    def store_hook(self) -> Callable[[str], None] | None:
+        """A store ``_crash_point`` hook killing the writer at the scripted
+        points (``None`` when no crash points are scripted)."""
+        if not self.crash_points:
+            return None
+
+        def hook(point: str) -> None:
+            if point in self.crash_points:
+                self.record("store-crash", point=point)
+                raise InjectedCrash(
+                    f"injected writer crash at store point {point!r}"
+                )
+
+        return hook
+
+
+# --------------------------------------------------------------- chaos proxy
+class _Severed(Exception):
+    """Internal: a pump decided to cut its connection."""
+
+
+class ChaosProxy:
+    """A TCP proxy between workers and the coordinator applying a FaultPlan.
+
+    Workers connect to :attr:`address` instead of the coordinator; each
+    accepted connection is paired with a fresh upstream connection and two
+    pump threads (one per direction).  The fixed-size HMAC handshake is
+    relayed verbatim in its three phases; every frame after it is parsed
+    (8-byte length header + payload) and subjected to
+    :meth:`FaultPlan.frame_action` under the scope ``conn<N>:<direction>``
+    (``c2w`` = coordinator->worker, ``w2c`` = worker->coordinator).
+
+    Dropping a frame is silent.  Truncating forwards the header plus half
+    the payload and then severs -- the receiver's stream is desynced, which
+    on a real network only ever ends one way.  Severing closes both sides,
+    which the coordinator handles exactly like a worker death (EOF ->
+    retire -> requeue) and the worker like a vanished coordinator.
+    """
+
+    #: Handshake relay phases per direction: byte counts relayed verbatim
+    #: before frame parsing starts (challenge+nonce / verdict, digest).
+    _PREAMBLE_C2W = (
+        len(_protocol._AUTH_CHALLENGE) + _protocol._NONCE_BYTES,
+        len(_protocol._AUTH_WELCOME),
+    )
+    _PREAMBLE_W2C = (_protocol._DIGEST_BYTES,)
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        plan: FaultPlan,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._upstream = upstream
+        self._plan = plan
+        self._bind = (host, port)
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conns = 0
+        self._sockets: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            return self
+        self._listener = socket.create_server(self._bind)
+        self._address = self._listener.getsockname()[:2]
+        thread = threading.Thread(
+            target=self._accept_loop, name="kecss-chaos-accept", daemon=True
+        )
+        thread.start()
+        self._threads.append(thread)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where workers should connect; raises until :meth:`start` ran."""
+        if self._address is None:
+            raise RuntimeError("chaos proxy is not started")
+        return self._address
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sockets = list(self._sockets)
+        if self._listener is not None:
+            self._close_socket(self._listener)
+        for sock in sockets:
+            self._close_socket(sock)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- pumping
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=10.0)
+                upstream.settimeout(None)
+            except OSError:
+                self._close_socket(client)
+                continue
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._closed:
+                    self._close_socket(client)
+                    self._close_socket(upstream)
+                    return
+                ordinal = self._conns
+                self._conns += 1
+                self._sockets.extend((client, upstream))
+            for src, dst, direction, preamble in (
+                (upstream, client, "c2w", self._PREAMBLE_C2W),
+                (client, upstream, "w2c", self._PREAMBLE_W2C),
+            ):
+                thread = threading.Thread(
+                    target=self._pump,
+                    args=(src, dst, f"conn{ordinal}:{direction}", preamble),
+                    name=f"kecss-chaos-conn{ordinal}-{direction}",
+                    daemon=True,
+                )
+                thread.start()
+                with self._lock:
+                    self._threads.append(thread)
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        scope: str,
+        preamble: tuple[int, ...],
+    ) -> None:
+        index = 0
+        try:
+            for size in preamble:
+                dst.sendall(_protocol._recv_exact(src, size))
+            while True:
+                header = _protocol._recv_exact(src, 8)
+                payload = _protocol._recv_exact(
+                    src, int.from_bytes(header, "big")
+                )
+                action = self._plan.frame_action(scope, index)
+                if action == "drop":
+                    self._plan.record("drop", scope=scope, frame=index)
+                elif action == "delay":
+                    self._plan.record("delay", scope=scope, frame=index)
+                    time.sleep(self._plan.delay_seconds)
+                    dst.sendall(header + payload)
+                elif action == "truncate":
+                    self._plan.record("truncate", scope=scope, frame=index)
+                    dst.sendall(header + payload[: len(payload) // 2])
+                    raise _Severed
+                elif action == "sever":
+                    self._plan.record("sever", scope=scope, frame=index)
+                    raise _Severed
+                else:
+                    dst.sendall(header + payload)
+                index += 1
+        except (_Severed, ConnectionClosed, OSError):
+            pass
+        finally:
+            self._close_socket(src)
+            self._close_socket(dst)
+
+    @staticmethod
+    def _close_socket(sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _swallowing_worker(kwargs: dict) -> None:
+    """Thread target: run a worker, treating injected faults as its death."""
+    from repro.analysis.cluster.worker import run_worker
+
+    try:
+        run_worker(**kwargs)
+    except (InjectedWorkerCrash, AuthenticationError, ConnectionClosed, OSError):
+        pass
+
+
+def run_chaos_batch(
+    function,
+    items: Sequence,
+    plan: FaultPlan,
+    *,
+    workers: int = 2,
+    chunk_size: int | None = None,
+    heartbeat_timeout: float = 10.0,
+    request_timeout: float = 0.5,
+    start_deadline: float = 30.0,
+):
+    """One coordinator batch through a :class:`ChaosProxy` under *plan*.
+
+    Starts a loopback coordinator, wedges the proxy in front of it, runs
+    *workers* in-process worker threads named ``c0..cN`` (connected through
+    the proxy, each carrying its scripted fault hook), submits the batch,
+    and returns ``(BatchOutcome, stats)``.  Workers are started one at a
+    time -- each must register before the next connects -- so connection
+    ordinals (and with them the fault schedule's scope binding) are
+    deterministic.  Test/CI substrate; see ``docs/robustness.md``.
+    """
+    from repro.analysis.cluster.coordinator import Coordinator
+
+    coordinator = Coordinator(
+        expected_capacity=workers,
+        heartbeat_timeout=heartbeat_timeout,
+        abandon_when_no_workers=True,
+    ).start()
+    proxy = ChaosProxy(coordinator.address, plan).start()
+    try:
+        host, port = proxy.address
+        for index in range(workers):
+            name = f"c{index}"
+            threading.Thread(
+                target=_swallowing_worker,
+                args=(
+                    dict(
+                        host=host,
+                        port=port,
+                        secret=coordinator.secret,
+                        name=name,
+                        heartbeat_interval=0.2,
+                        connect_timeout=10.0,
+                        request_timeout=request_timeout,
+                        fault_hook=plan.worker_hook(name),
+                    ),
+                ),
+                name=f"kecss-chaos-worker-{name}",
+                daemon=True,
+            ).start()
+            deadline = time.monotonic() + start_deadline
+            while name not in coordinator.live_workers():
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"chaos worker {name!r} did not register within "
+                        f"{start_deadline:.0f}s"
+                    )
+                time.sleep(0.01)
+        outcome = coordinator.submit(function, list(items), chunk_size=chunk_size)
+        return outcome, coordinator.stats()
+    finally:
+        coordinator.close()
+        proxy.close()
+
+
+# ----------------------------------------------------------------- failover
+def _first_line(exc: BaseException) -> str:
+    text = str(exc) or type(exc).__name__
+    return text.splitlines()[0]
+
+
+@register_backend("failover")
+@dataclass
+class FailoverBackend:
+    """A sticky backend chain that degrades instead of failing the sweep.
+
+    ``map`` runs on the active stage; an infrastructure failure
+    (``RuntimeError`` / ``OSError`` -- trial exceptions never raise, they
+    travel inside ``TrialResult.error``) advances to the next stage and
+    re-runs the **whole batch** there, which is lossless because every
+    backend computes bit-identical results.  Degradation is sticky: later
+    batches start from the stage that last worked, so a dead cluster is
+    not re-dialed once per batch.  Each degradation appends an auditable
+    event to :attr:`degradations`, which
+    :func:`~repro.analysis.bench.engine_provenance` records as
+    ``degraded_from`` in baselines and store run manifests.
+
+    Attributes:
+        chain: Stage specs, most- to least-capable; each is a backend
+            registry name or an :class:`~repro.analysis.backends.ExecutionBackend`
+            instance.  The last stage has no fallback -- its failures raise.
+        startup_timeout: Applied to stages exposing the attribute (the
+            cluster backend): an attach-mode coordinator that no worker
+            joins within this window fails fast -- and so degrades --
+            instead of waiting forever.
+    """
+
+    workers: int = 4
+    name: str = "failover"
+    chain: Sequence = ("cluster", "processes", "serial")
+    startup_timeout: float | None = 10.0
+    degradations: list = field(default_factory=list)
+
+    # Runtime state, not configuration.
+    _stages = None
+    _active = 0
+    _entered = False
+    _entered_stage = None
+
+    def _resolve_stages(self) -> list:
+        if self._stages is None:
+            if not self.chain:
+                raise ValueError("failover chain must name at least one backend")
+            self._stages = [
+                resolve_backend(spec, self.workers) for spec in self.chain
+            ]
+            if self.startup_timeout is not None:
+                for stage in self._stages:
+                    if hasattr(stage, "startup_timeout"):
+                        stage.startup_timeout = self.startup_timeout
+        return self._stages
+
+    # ------------------------------------------------------------ lifecycle
+    def _enter_stage(self, stage) -> None:
+        if self._entered and hasattr(type(stage), "__enter__"):
+            stage.__enter__()
+            self._entered_stage = stage
+
+    def _exit_stage(self) -> None:
+        stage, self._entered_stage = self._entered_stage, None
+        if stage is not None:
+            try:
+                stage.__exit__(None, None, None)
+            except (RuntimeError, OSError):
+                pass  # a dying stage may fail its own teardown; degrade anyway
+
+    def __enter__(self) -> "FailoverBackend":
+        stages = self._resolve_stages()
+        self._entered = True
+        self._enter_stage(stages[self._active])
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._entered = False
+        self._exit_stage()
+
+    # ------------------------------------------------------------- execution
+    def map(self, function, items):
+        stages = self._resolve_stages()
+        items = list(items)
+        if not items:
+            return []
+        while True:
+            stage = stages[self._active]
+            try:
+                return stage.map(function, items)
+            except (RuntimeError, OSError) as exc:
+                if self._active >= len(stages) - 1:
+                    raise
+                self._degrade(stage, stages[self._active + 1], exc)
+
+    def _degrade(self, failed, successor, exc: BaseException) -> None:
+        event = {
+            "degraded_from": getattr(failed, "name", type(failed).__name__),
+            "to": getattr(successor, "name", type(successor).__name__),
+            "reason": _first_line(exc),
+        }
+        self.degradations.append(event)
+        self._exit_stage()
+        self._active += 1
+        self._enter_stage(successor)
+
+
+# -------------------------------------------------------- store crash points
+@contextmanager
+def store_crash_hook(hook: Callable[[str], None] | None):
+    """Install *hook* as the store's ``_crash_point`` observer for the block."""
+    from repro.store import store as store_module
+
+    previous = store_module._crash_hook
+    store_module._crash_hook = hook
+    try:
+        yield
+    finally:
+        store_module._crash_hook = previous
+
+
+@contextmanager
+def crash_store_at(point: str):
+    """Kill the store writer (raise :class:`InjectedCrash`) at *point*."""
+
+    def hook(name: str) -> None:
+        if name == point:
+            raise InjectedCrash(f"injected writer crash at store point {name!r}")
+
+    with store_crash_hook(hook):
+        yield
+
+
+def record_store_crash_points(action: Callable[[], object]) -> list[str]:
+    """Run *action* with a recording hook; returns the crash points it passed.
+
+    This is how the crash-point test matrix stays exhaustive without a
+    hand-maintained list: record one clean write, then kill a fresh writer
+    at every recorded point.
+    """
+    points: list[str] = []
+    with store_crash_hook(points.append):
+        action()
+    return points

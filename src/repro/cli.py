@@ -14,6 +14,8 @@ Examples::
     kecss bench e3 --store-dir .repro-store          # record + append to the store
     kecss store import BENCH_e3.json BENCH_e9.json --store-dir .repro-store
     kecss store ls --store-dir .repro-store
+    kecss store fsck --repair --store-dir .repro-store   # quarantine crash damage
+    kecss store gc --keep-last 5 --store-dir .repro-store
     kecss history e3 --store-dir .repro-store
     kecss history e3 --metric ratio --by family      # per-configuration drill-down
     kecss regress e3 --store-dir .repro-store --tolerance 0.0
@@ -33,7 +35,11 @@ so re-runs and partially failed sweeps resume from disk, and ``--no-cache``
 forces recomputation.  The ``cluster`` backend spawns loopback worker
 processes by default; with ``REPRO_CLUSTER_LISTEN=HOST:PORT`` set it serves
 external ``kecss worker --connect HOST:PORT`` processes instead -- on this
-machine or others (see ``docs/distributed.md``).
+machine or others (see ``docs/distributed.md``).  ``--heartbeat-timeout``
+(or ``$REPRO_CLUSTER_HEARTBEAT``) tunes how long a silent worker keeps its
+leases before they requeue; ``--backend failover`` degrades
+``cluster -> processes -> serial`` instead of failing the sweep, recording
+every fallback into provenance (see ``docs/robustness.md``).
 
 The ``bench`` subcommand runs the same experiment entrypoints through the
 engine and persists machine-readable ``BENCH_<experiment>.json`` baselines
@@ -57,7 +63,11 @@ their per-trial records to the store named by ``--store-dir`` (default:
 tabulates per-code-version aggregate trends, and ``regress`` compares the
 latest stored run against the previous code version and exits non-zero on
 drift beyond ``--tolerance`` -- the cross-run superset of ``bench
---against``.
+--against``.  ``store fsck [--repair]`` detects crashed-writer residue
+(half-written segments, truncated columns, stray tmp files; exit 1 when
+anything is found) and quarantines it under ``<store>/quarantine/``;
+``store gc --keep-last N`` is per-experiment retention.  See
+``docs/robustness.md`` for the fault model behind both.
 
 The ``lint`` subcommand runs the :mod:`repro.lint` static analyzer over the
 package sources: the DET00x determinism rules and the CACHE001
@@ -142,6 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="directory for the on-disk trial cache (default: caching off)")
     experiment.add_argument("--no-cache", action="store_true",
                             help="ignore the cache even when --cache-dir is set")
+    experiment.add_argument("--heartbeat-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="cluster backend: seconds of worker silence "
+                                 "before its leases requeue (> 0; default: "
+                                 "$REPRO_CLUSTER_HEARTBEAT, then 10)")
     experiment.add_argument("--store-dir", default=None,
                             help="append per-trial records to this columnar trial "
                                  "store (default: $REPRO_STORE_DIR; unset: no store)")
@@ -170,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for the on-disk trial cache (default: caching off)")
     bench.add_argument("--no-cache", action="store_true",
                        help="ignore the cache even when --cache-dir is set")
+    bench.add_argument("--heartbeat-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cluster backend: seconds of worker silence "
+                            "before its leases requeue (> 0; default: "
+                            "$REPRO_CLUSTER_HEARTBEAT, then 10)")
     bench.add_argument("--store-dir", default=None,
                        help="also append the run to this columnar trial store "
                             "(default: $REPRO_STORE_DIR; skipped under --dry-run)")
@@ -211,14 +231,23 @@ def build_parser() -> argparse.ArgumentParser:
     store = subparsers.add_parser(
         "store", help="manage the columnar trial store"
     )
-    store.add_argument("action", choices=["import", "ls"],
+    store.add_argument("action", choices=["import", "ls", "fsck", "gc"],
                        help="import: ingest BENCH_*.json baselines; "
-                            "ls: list stored runs")
+                            "ls: list stored runs; "
+                            "fsck: check segments for crash damage "
+                            "(exit 1 when any is found); "
+                            "gc: per-experiment retention")
     store.add_argument("paths", nargs="*",
                        help="baseline files to import (import only)")
     store.add_argument("--store-dir", default=None,
                        help="the trial store to operate on "
                             "(default: $REPRO_STORE_DIR)")
+    store.add_argument("--repair", action="store_true",
+                       help="fsck only: quarantine damaged segments under "
+                            "<store>/quarantine/ and unlink stray tmp files")
+    store.add_argument("--keep-last", type=int, default=None, metavar="N",
+                       help="gc only: keep the newest N runs per experiment "
+                            "and delete the rest (N >= 1)")
 
     worker = subparsers.add_parser(
         "worker",
@@ -355,6 +384,23 @@ def _open_store(directory: Path, create: bool):
         raise SystemExit(str(exc))
 
 
+def _apply_cluster_options(args: argparse.Namespace) -> None:
+    """Publish ``--heartbeat-timeout`` through the env fallback.
+
+    The env var (rather than an engine kwarg) is the one channel that
+    reaches every ``ClusterBackend`` construction site uniformly --
+    including the cluster stage a ``failover`` chain resolves lazily.
+    """
+    value = getattr(args, "heartbeat_timeout", None)
+    if value is None:
+        return
+    if not value > 0:  # rejects NaN too
+        raise SystemExit(f"--heartbeat-timeout must be > 0, got {value!r}")
+    from repro.analysis.cluster.backend import HEARTBEAT_ENV
+
+    os.environ[HEARTBEAT_ENV] = str(value)
+
+
 def _experiment(args: argparse.Namespace) -> int:
     if (
         args.positional_id is not None
@@ -366,6 +412,7 @@ def _experiment(args: argparse.Namespace) -> int:
             f"vs --id {args.experiment_id!r}"
         )
     experiment_id = args.positional_id or args.experiment_id or "all"
+    _apply_cluster_options(args)
     if args.cache_dir is not None and not args.no_cache:
         try:
             Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
@@ -419,6 +466,7 @@ def _experiment(args: argparse.Namespace) -> int:
 def _bench(args: argparse.Namespace) -> int:
     from repro.analysis.bench import RecordingEngine
 
+    _apply_cluster_options(args)
     ids = sorted(_EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     if args.out is not None and len(ids) != 1:
         raise SystemExit("--out requires a single experiment id (use --out-dir for 'all')")
@@ -641,6 +689,10 @@ def _store_cmd(args: argparse.Namespace) -> int:
     from repro.store import StoreError, import_baseline_file
 
     store_dir = _store_dir_from(args, required=True)
+    if args.repair and args.action != "fsck":
+        raise SystemExit("--repair only applies to store fsck")
+    if args.keep_last is not None and args.action != "gc":
+        raise SystemExit("--keep-last only applies to store gc")
     if args.action == "import":
         if not args.paths:
             raise SystemExit("store import needs at least one BENCH_*.json path")
@@ -655,9 +707,47 @@ def _store_cmd(args: argparse.Namespace) -> int:
                 f"({info.trial_count} trials, version {info.code_version})"
             )
         return 0
-    # ls
     if args.paths:
-        raise SystemExit("store ls takes no positional arguments")
+        raise SystemExit(f"store {args.action} takes no positional arguments")
+    if args.action == "fsck":
+        store = _open_store(store_dir, create=False)
+        findings = store.fsck(repair=args.repair)
+        if not findings:
+            print(f"store at {store_dir} is clean")
+            return 0
+        for finding in findings:
+            status = "quarantined" if finding.repaired and finding.kind != "stray-tmp" \
+                else ("removed" if finding.repaired else "found")
+            print(f"{status} {finding.kind} in {finding.segment}: {finding.detail}")
+        if args.repair:
+            quarantined = sum(
+                1 for f in findings if f.repaired and f.kind != "stray-tmp"
+            )
+            print(
+                f"fsck: {len(findings)} finding(s); {quarantined} segment(s) "
+                f"moved to {store_dir}/quarantine"
+            )
+        else:
+            print(f"fsck: {len(findings)} finding(s); re-run with --repair "
+                  f"to quarantine")
+        return 1
+    if args.action == "gc":
+        if args.keep_last is None:
+            raise SystemExit("store gc needs --keep-last N (N >= 1)")
+        if args.keep_last < 1:
+            raise SystemExit(f"--keep-last must be >= 1, got {args.keep_last}")
+        store = _open_store(store_dir, create=False)
+        try:
+            removed = store.gc(args.keep_last)
+        except StoreError as exc:
+            raise SystemExit(str(exc))
+        for info in removed:
+            print(f"removed {info.run_id} ({info.experiment}, "
+                  f"{info.trial_count} trials)")
+        print(f"gc: removed {len(removed)} run(s), kept the newest "
+              f"{args.keep_last} per experiment")
+        return 0
+    # ls
     store = _open_store(store_dir, create=False)
     try:
         runs = store.runs()

@@ -33,9 +33,11 @@ from repro.store.store import (
     RUN_SCHEMA_NAME,
     SCHEMA_VERSION,
     STORE_SCHEMA_NAME,
+    FsckFinding,
     RunInfo,
     RunSlice,
     StoreError,
+    StoreWarning,
     TrialStore,
     git_describe,
     validate_run_manifest,
@@ -48,9 +50,11 @@ __all__ = [
     "STORE_SCHEMA_NAME",
     "ColumnCodecError",
     "ColumnSpec",
+    "FsckFinding",
     "RunInfo",
     "RunSlice",
     "StoreError",
+    "StoreWarning",
     "TrialStore",
     "compare_tables_with_tolerance",
     "duration_stats",

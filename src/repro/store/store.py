@@ -30,13 +30,24 @@ wall-clock stamp.  Like ``bench.py`` baselines, manifests are schema-checked
 Writes are crash-safe without locks: the segment directory is claimed with
 an atomic ``mkdir``, column files are written first and ``manifest.json``
 last, so a segment is visible to readers only once complete.  Directories
-without a manifest are ignored (and left for inspection).
+without a manifest are ignored (and left for inspection); a segment whose
+manifest is corrupt or schema-invalid is skipped with a
+:class:`StoreWarning` rather than failing the read.  ``TrialStore.fsck``
+(``kecss store fsck [--repair]``) detects every crash residue -- half
+written segments, truncated columns, stray manifest tmp files -- and
+quarantines damage under ``<root>/quarantine/``; ``TrialStore.gc``
+(``kecss store gc --keep-last N``) is per-experiment retention.  The
+writer's commit sequence carries named fault-injection points
+(:func:`repro.analysis.faults.store_crash_hook`), so the recovery path is
+tested against a crash at every stage (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -50,6 +61,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "CORE_COLUMNS",
     "StoreError",
+    "StoreWarning",
+    "FsckFinding",
     "RunInfo",
     "RunSlice",
     "TrialStore",
@@ -72,12 +85,54 @@ class StoreError(RuntimeError):
     """Raised for malformed stores, manifests or ingestion payloads."""
 
 
+class StoreWarning(UserWarning):
+    """Warned (not raised) for damage a read path can safely step around.
+
+    A single corrupt segment must not take down ``kecss history`` for the
+    whole store; reads skip it with this warning and ``kecss store fsck``
+    reports (and optionally quarantines) it.
+    """
+
+
+#: Fault-injection observer for the writer's crash points; ``None`` in
+#: production.  :func:`repro.analysis.faults.store_crash_hook` installs a
+#: hook that raises at scripted points, simulating a writer dying mid-commit
+#: at every stage the crash-recovery tests need to cover.
+_crash_hook = None
+
+
+def _crash_point(point: str) -> None:
+    """Named writer crash point (no-op unless a fault hook is installed)."""
+    if _crash_hook is not None:
+        _crash_hook(point)
+
+
 def _write_json_atomic(path: Path, payload: dict) -> None:
     """Write JSON via a sibling tmp file + rename, so readers never see a
     truncated document (mirrors the engine cache writer)."""
     tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _crash_point(f"tmp-written:{path.name}")
     tmp.replace(path)
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One problem ``TrialStore.fsck`` detected (and possibly repaired).
+
+    ``kind`` is one of ``"uncommitted"`` (a claimed segment without a
+    manifest -- a crashed writer), ``"manifest-corrupt"`` (unparseable
+    JSON), ``"manifest-schema"`` (schema violations), ``"column"`` (a
+    truncated/corrupt/missing column file), or ``"stray-tmp"`` (a leftover
+    ``manifest.json.*.tmp`` beside a healthy manifest).  ``repaired`` is
+    true when ``fsck(repair=True)`` quarantined the segment (or unlinked
+    the stray tmp file).
+    """
+
+    segment: str
+    kind: str
+    detail: str
+    repaired: bool = False
 
 
 @dataclass(frozen=True)
@@ -262,6 +317,12 @@ class TrialStore:
         Ordering is by the monotonically increasing ingestion sequence, which
         is what ``history`` / ``regress`` mean by "latest" and "previous" --
         not by the caller-supplied wall clock, which may be skewed.
+
+        A segment with a corrupt or schema-invalid manifest is *skipped*
+        with a :class:`StoreWarning` instead of failing the whole read: one
+        damaged run must not take down ``kecss history``/``regress`` for
+        every healthy run in the store.  ``kecss store fsck`` reports (and
+        ``--repair`` quarantines) what was skipped.
         """
         runs: list[RunInfo] = []
         if not self.segments_dir.is_dir():
@@ -273,12 +334,25 @@ class TrialStore:
             try:
                 payload = json.loads(manifest_path.read_text())
             except (OSError, ValueError) as exc:
-                raise StoreError(f"corrupt run manifest {manifest_path}: {exc}")
+                warnings.warn(
+                    StoreWarning(
+                        f"skipping segment {path.name}: corrupt run manifest "
+                        f"({exc}); run `kecss store fsck` to inspect"
+                    ),
+                    stacklevel=2,
+                )
+                continue
             problems = validate_run_manifest(payload)
             if problems:
-                raise StoreError(
-                    f"invalid run manifest {manifest_path}: " + "; ".join(problems)
+                warnings.warn(
+                    StoreWarning(
+                        f"skipping segment {path.name}: invalid run manifest "
+                        f"({'; '.join(problems)}); run `kecss store fsck` "
+                        f"to inspect"
+                    ),
+                    stacklevel=2,
                 )
+                continue
             if experiment is not None and payload["experiment"] != experiment:
                 continue
             runs.append(
@@ -434,6 +508,7 @@ class TrialStore:
             specs.append(spec)
             payloads.append(data)
         sequence, path = self._claim_segment(experiment)
+        _crash_point("segment-claimed")
         run_id = path.name
         manifest = {
             "schema": RUN_SCHEMA_NAME,
@@ -455,10 +530,12 @@ class TrialStore:
             )
         for spec, data in zip(specs, payloads):
             (path / spec.file).write_bytes(data)
+            _crash_point(f"column-written:{spec.file}")
         # The manifest is written last and renamed into place: its presence
         # commits the segment, and a crash mid-write leaves only a .tmp file
         # (the segment stays invisible) instead of a corrupt manifest that
         # would brick every read of the store.
+        _crash_point("before-manifest")
         _write_json_atomic(path / "manifest.json", manifest)
         return RunInfo(
             run_id=run_id,
@@ -470,3 +547,103 @@ class TrialStore:
             path=path,
             manifest=manifest,
         )
+
+    # ------------------------------------------------------------ maintenance
+    def fsck(self, repair: bool = False) -> list[FsckFinding]:
+        """Check every segment; optionally quarantine the damaged ones.
+
+        Detects, per segment: a missing manifest (``uncommitted`` -- a
+        crashed writer's half-written segment), an unparseable manifest
+        (``manifest-corrupt``), schema violations (``manifest-schema``), a
+        truncated/corrupt/missing column file (``column``), and -- in
+        otherwise healthy segments -- leftover ``manifest.json.*.tmp``
+        files from a writer that died between write and rename
+        (``stray-tmp``).
+
+        With *repair*, damaged segments are moved under
+        ``<root>/quarantine/`` (never deleted -- the bytes stay available
+        for inspection) and stray tmp files are unlinked.  Do not repair
+        while a writer is active: an in-flight ingest looks exactly like a
+        crashed one until its manifest lands.
+        """
+        findings: list[FsckFinding] = []
+        if not self.segments_dir.is_dir():
+            return findings
+        for path in sorted(self.segments_dir.iterdir()):
+            if not path.is_dir():
+                continue
+            manifest_path = path / "manifest.json"
+            problem: tuple[str, str] | None = None
+            if not manifest_path.is_file():
+                problem = (
+                    "uncommitted",
+                    "claimed segment without a manifest (crashed writer)",
+                )
+            else:
+                try:
+                    payload = json.loads(manifest_path.read_text())
+                except (OSError, ValueError) as exc:
+                    problem = ("manifest-corrupt", str(exc))
+                else:
+                    violations = validate_run_manifest(payload)
+                    if violations:
+                        problem = ("manifest-schema", "; ".join(violations))
+                    else:
+                        for entry in payload.get("columns", []):
+                            spec = ColumnSpec.from_manifest(entry)
+                            try:
+                                read_column(path, spec)
+                            except (ColumnCodecError, OSError) as exc:
+                                problem = ("column", f"{spec.name!r}: {exc}")
+                                break
+            if problem is None:
+                for stray in sorted(path.glob("manifest.json.*.tmp")):
+                    repaired = False
+                    if repair:
+                        stray.unlink(missing_ok=True)
+                        repaired = True
+                    findings.append(
+                        FsckFinding(path.name, "stray-tmp", stray.name, repaired)
+                    )
+                continue
+            kind, detail = problem
+            repaired = False
+            if repair:
+                self._quarantine(path)
+                repaired = True
+            findings.append(FsckFinding(path.name, kind, detail, repaired))
+        return findings
+
+    def _quarantine(self, path: Path) -> Path:
+        """Move a damaged segment under ``<root>/quarantine/`` (keep bytes)."""
+        target_dir = self.root / "quarantine"
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        suffix = 1
+        while target.exists():
+            suffix += 1
+            target = target_dir / f"{path.name}.{suffix}"
+        path.rename(target)
+        return target
+
+    def gc(self, keep_last: int) -> list[RunInfo]:
+        """Retention: keep the newest *keep_last* runs **per experiment**.
+
+        Older segments are deleted outright (unlike quarantine, this is the
+        intentional retention path) and their :class:`RunInfo` records are
+        returned.  "Newest" follows the ingestion sequence, the same order
+        ``history``/``regress`` use.  Damaged segments are not touched --
+        they are invisible to :meth:`runs` -- so run :meth:`fsck` first to
+        account for those.
+        """
+        if keep_last < 1:
+            raise StoreError(f"gc keep_last must be >= 1, got {keep_last}")
+        removed: list[RunInfo] = []
+        by_experiment: dict[str, list[RunInfo]] = {}
+        for info in self.runs():  # already oldest-first by sequence
+            by_experiment.setdefault(info.experiment, []).append(info)
+        for experiment in sorted(by_experiment):
+            for info in by_experiment[experiment][:-keep_last]:
+                shutil.rmtree(info.path)
+                removed.append(info)
+        return removed

@@ -16,7 +16,7 @@ import pytest
 from repro.analysis.engine import ExperimentEngine, TrialJob
 from repro.analysis.runner import derive_seed
 from repro.cli import main
-from repro.store import TrialStore
+from repro.store import StoreWarning, TrialStore
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 E3_BASELINE = REPO_ROOT / "BENCH_e3.json"
@@ -193,16 +193,20 @@ class TestHistoryAndRegress:
         assert main(["regress", "e3", "--store-dir", str(store_dir)]) == 0
         assert "nothing to regress" in capsys.readouterr().out
 
-    def test_corrupt_manifest_is_a_clean_error_not_a_traceback(self, tmp_path):
-        """A truncated run manifest must surface as a one-line SystemExit
-        from regress and store ls, like history's clean error path."""
+    def test_corrupt_manifest_warns_and_is_skipped_not_fatal(self, tmp_path):
+        """A truncated run manifest no longer takes the whole store down:
+        reads warn (pointing at ``kecss store fsck``) and skip the damaged
+        segment, and ``fsck`` identifies it (see docs/robustness.md)."""
         store_dir = tmp_path / "store"
         self._populate(store_dir)
         manifest = next((store_dir / "segments").glob("run-*/manifest.json"))
         manifest.write_text(manifest.read_text()[:40])
         for argv in (["regress", "e3"], ["store", "ls"]):
-            with pytest.raises(SystemExit, match="corrupt run manifest"):
+            with pytest.warns(StoreWarning, match="corrupt run manifest"):
+                # The only run is the damaged one, so both verbs see an
+                # empty-but-healthy store rather than crashing on it.
                 main([*argv, "--store-dir", str(store_dir)])
+        assert main(["store", "fsck", "--store-dir", str(store_dir)]) == 1
 
     def test_regress_missing_experiment_exits_2(self, tmp_path, capsys):
         store_dir = tmp_path / "store"
