@@ -34,6 +34,7 @@ from repro.analysis.code_version import code_version_for, git_describe
 from repro.analysis.engine import ExperimentEngine, TrialJob
 from repro.analysis.runner import TrialResult
 from repro.analysis.tables import Table
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "SCHEMA_NAME",
@@ -91,6 +92,7 @@ def trial_payload(job: TrialJob, result: TrialResult) -> dict:
         "seed": job.seed,
         "index": job.index,
         "duration": result.duration,
+        "queue_seconds": result.queue_seconds,
         "cached": result.cached,
         "error": result.error,
         "worker": result.worker,
@@ -131,6 +133,13 @@ def engine_provenance(engine: ExperimentEngine, experiment_id: str) -> dict:
     )
     if degradations:
         provenance["degraded_from"] = degradations
+    # When tracing is on, its in-memory aggregate (span counts, per-category
+    # seconds, per-proc busy seconds, the trace file path) travels with the
+    # results so ``kecss history`` can drill into where a run spent time
+    # without the trace file itself.
+    tracer = get_tracer()
+    if tracer.enabled:
+        provenance["trace"] = tracer.summary()
     return provenance
 
 

@@ -40,8 +40,11 @@ from repro.analysis.cluster.protocol import SECRET_ENV, secret_from_env
 from repro.analysis.cluster.worker import _worker_process_main
 from repro.analysis.engine import TrialJob
 from repro.analysis.runner import TrialResult
+from repro.obs.logs import get_logger
 
 __all__ = ["ClusterBackend", "listen_address_from_env"]
+
+log = get_logger("repro.cluster.backend")
 
 #: Environment switch into attach mode: ``HOST:PORT`` to bind and serve
 #: external ``kecss worker`` processes instead of spawning loopback ones.
@@ -209,6 +212,11 @@ class ClusterBackend:
             secret=secret,
             max_item_requeues=self.max_item_requeues,
         ).start()
+        log.info(
+            "coordinator listening on %s:%d (%s mode)",
+            *self._coordinator.address,
+            "attach" if self.attached else "loopback",
+        )
         if not self.attached:
             context = _fork_context()
             bound_host, bound_port = self._coordinator.address
@@ -223,6 +231,7 @@ class ClusterBackend:
             ]
             for process in self._processes:
                 process.start()
+            log.info("spawned %d loopback worker process(es)", self.workers)
 
     def _stop(self) -> None:
         coordinator, self._coordinator = self._coordinator, None

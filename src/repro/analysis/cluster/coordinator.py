@@ -52,8 +52,13 @@ from repro.analysis.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import get_tracer
 
 __all__ = ["BatchOutcome", "Coordinator"]
+
+log = get_logger("repro.cluster.coordinator")
 
 
 @dataclass
@@ -169,15 +174,24 @@ class Coordinator:
         self._workers: dict[str, _Worker] = {}
         self._seen_workers = 0
         self._next_lease = 0
-        self._counters = {
-            "steals": 0,
-            "requeued": 0,
-            "duplicates": 0,
-            "stale_frames": 0,
-            "dead_workers": 0,
-            "total_completed": 0,
-            "poisoned": 0,
-        }
+        # Fault-tolerance accounting lives in a metrics registry (typed,
+        # labelled, snapshot-able); stats() flattens the totals back into
+        # the historical dict shape.
+        self.metrics = MetricsRegistry()
+        self._c_steals = self.metrics.counter(
+            "steals", "work-stealing events (labelled by thief)")
+        self._c_requeued = self.metrics.counter(
+            "requeued", "items requeued after a worker death (by worker)")
+        self._c_duplicates = self.metrics.counter(
+            "duplicates", "twice-computed items deduplicated first-wins")
+        self._c_stale = self.metrics.counter(
+            "stale_frames", "result/error frames dropped for a wrong batch epoch")
+        self._c_dead = self.metrics.counter(
+            "dead_workers", "workers retired by EOF or heartbeat timeout")
+        self._c_completed = self.metrics.counter(
+            "total_completed", "items recorded (labelled by worker)")
+        self._c_poisoned = self.metrics.counter(
+            "poisoned", "items abandoned under the poison-chunk strike bound")
 
         # Per-batch state; ``_function is None`` means no batch in flight.
         # ``_batch`` is the monotonically increasing batch epoch: chunk
@@ -284,39 +298,44 @@ class Coordinator:
             self._requeues = {}
             self._poisoned = []
             self._done.clear()
+            epoch = self._batch
         abandoned = 0
-        try:
-            while not self._done.wait(0.1):
+        batch_span = get_tracer().span(
+            "cluster.batch", cat="cluster", items=len(items), batch=epoch
+        )
+        with batch_span:
+            try:
+                while not self._done.wait(0.1):
+                    with self._lock:
+                        if self._failure is not None or self._closed:
+                            break
+                        if (
+                            self._abandon
+                            and self._seen_workers
+                            and not any(w.alive for w in self._workers.values())
+                        ):
+                            abandoned = self._remaining
+                            break
+            finally:
                 with self._lock:
-                    if self._failure is not None or self._closed:
-                        break
-                    if (
-                        self._abandon
-                        and self._seen_workers
-                        and not any(w.alive for w in self._workers.values())
-                    ):
-                        abandoned = self._remaining
-                        break
-        finally:
-            with self._lock:
-                results = self._results
-                worker_of = self._worker_of
-                poisoned = self._poisoned
-                failure = self._failure
-                complete = self._remaining == 0
-                closed = self._closed
-                self._function = None
-                self._items = []
-                self._results = []
-                self._filled = []
-                self._worker_of = []
-                self._remaining = 0
-                self._queue.clear()
-                self._leases.clear()
-                self._requeues = {}
-                self._poisoned = []
-                for worker in self._workers.values():
-                    worker.leases.clear()
+                    results = self._results
+                    worker_of = self._worker_of
+                    poisoned = self._poisoned
+                    failure = self._failure
+                    complete = self._remaining == 0
+                    closed = self._closed
+                    self._function = None
+                    self._items = []
+                    self._results = []
+                    self._filled = []
+                    self._worker_of = []
+                    self._remaining = 0
+                    self._queue.clear()
+                    self._leases.clear()
+                    self._requeues = {}
+                    self._poisoned = []
+                    for worker in self._workers.values():
+                        worker.leases.clear()
         if failure is not None:
             raise RuntimeError(
                 f"a cluster worker failed while computing the batch:\n{failure}"
@@ -330,9 +349,22 @@ class Coordinator:
         return BatchOutcome(results, worker_of, poisoned)
 
     def stats(self) -> dict:
-        """Counters and per-worker accounting (for tests, logs and docs)."""
+        """Counters and per-worker accounting (for tests, logs and docs).
+
+        The flat counter keys predate the metrics registry; they are now
+        views over :attr:`metrics` (label sets summed back into totals) so
+        existing tests and the CI smoke checks keep reading the same shape.
+        """
         with self._lock:
-            snapshot = dict(self._counters)
+            snapshot = {
+                "steals": int(self._c_steals.total()),
+                "requeued": int(self._c_requeued.total()),
+                "duplicates": int(self._c_duplicates.total()),
+                "stale_frames": int(self._c_stale.total()),
+                "dead_workers": int(self._c_dead.total()),
+                "total_completed": int(self._c_completed.total()),
+                "poisoned": int(self._c_poisoned.total()),
+            }
             snapshot["workers"] = {
                 worker.name: {
                     "alive": worker.alive,
@@ -386,6 +418,15 @@ class Coordinator:
                     if worker.alive and now - worker.last_seen > self._heartbeat_timeout
                 ]
             for worker in stale:
+                log.warning(
+                    "worker %s missed the heartbeat window (%.1fs); closing "
+                    "its connection so its leases requeue",
+                    worker.name, self._heartbeat_timeout,
+                )
+                get_tracer().instant(
+                    "heartbeat.miss", cat="cluster", worker=worker.name,
+                    timeout=self._heartbeat_timeout,
+                )
                 self._close_conn(worker.conn)
 
     def _serve(self, conn: socket.socket) -> None:
@@ -431,6 +472,15 @@ class Coordinator:
                     with self._lock:
                         reply = self._next_assignment(worker)
                     self._send(worker, reply)
+                    if reply.get("type") == "chunk":
+                        # Emitted outside the lock: sink writes are file IO.
+                        get_tracer().instant(
+                            "lease.steal" if reply.get("stolen") else "lease.dispatch",
+                            cat="cluster",
+                            worker=worker.name,
+                            lease=reply["lease"],
+                            items=len(reply["indices"]),
+                        )
                     if reply.get("type") == "shutdown":
                         break
                 elif kind == "result":
@@ -463,6 +513,14 @@ class Coordinator:
             )
             self._workers[name] = worker
             self._seen_workers += 1
+        log.info(
+            "worker %s registered (pid=%d host=%s capacity=%d)",
+            worker.name, worker.pid, worker.host, worker.capacity,
+        )
+        get_tracer().instant(
+            "worker.register", cat="cluster",
+            worker=worker.name, host=worker.host, capacity=worker.capacity,
+        )
         return worker
 
     def _next_assignment(self, worker: _Worker) -> dict:
@@ -475,7 +533,7 @@ class Coordinator:
             return self._lease_out(worker, self._queue.popleft())
         stolen = self._steal_for(worker)
         if stolen is not None:
-            return self._lease_out(worker, stolen)
+            return self._lease_out(worker, stolen, stolen_work=True)
         return {"type": "wait", "delay": self._busy_delay}
 
     def _steal_for(self, thief: _Worker) -> list | None:
@@ -518,17 +576,19 @@ class Coordinator:
             stolen = victim_remaining[-take:]
             keep = set(victim.indices) - set(stolen)
             victim.indices = [i for i in victim.indices if i in keep]
-            self._counters["steals"] += 1
+            self._c_steals.inc(thief=thief.name)
             return stolen
         return None
 
-    def _lease_out(self, worker: _Worker, indices: list) -> dict:
+    def _lease_out(
+        self, worker: _Worker, indices: list, stolen_work: bool = False
+    ) -> dict:
         """Build the chunk reply for *indices*.  Caller holds the lock."""
         self._next_lease += 1
         lease = _Lease(self._next_lease, worker.name, list(indices))
         self._leases[lease.lease_id] = lease
         worker.leases.add(lease.lease_id)
-        return {
+        reply = {
             "type": "chunk",
             "lease": lease.lease_id,
             "batch": self._batch,
@@ -536,8 +596,17 @@ class Coordinator:
             "items": [self._items[i] for i in indices],
             "function": self._function,
         }
+        if stolen_work:
+            reply["stolen"] = True
+        if get_tracer().enabled:
+            # Ask the worker to collect per-item spans and ship them back
+            # inside its result frames (optional key; old workers ignore it).
+            reply["trace"] = True
+        return reply
 
     def _record_result(self, worker: _Worker, message: dict) -> None:
+        accepted = False
+        duplicate = False
         with self._lock:
             if self._function is None or message.get("batch") != self._batch:
                 # A frame from a completed batch: a steal victim is never
@@ -545,7 +614,7 @@ class Coordinator:
                 # the batch finished.  Once the next batch is in flight the
                 # same indices mean different items -- recording the stale
                 # value would silently corrupt them, so drop the frame.
-                self._counters["stale_frames"] += 1
+                self._c_stale.inc()
                 return
             index = message.get("index")
             if not isinstance(index, int) or not 0 <= index < len(self._results):
@@ -553,22 +622,46 @@ class Coordinator:
             if self._filled[index]:
                 # A stolen or requeued item computed twice; results are
                 # bit-identical across workers, so first-wins is lossless.
-                self._counters["duplicates"] += 1
+                self._c_duplicates.inc()
+                duplicate = True
             else:
                 self._results[index] = message.get("result")
                 self._filled[index] = True
                 self._worker_of[index] = worker.name
                 worker.completed += 1
-                self._counters["total_completed"] += 1
+                self._c_completed.inc(worker=worker.name)
                 self._remaining -= 1
                 if self._remaining == 0:
                     self._done.set()
+                accepted = True
             lease = self._leases.get(message.get("lease"))
             if lease is not None and all(self._filled[i] for i in lease.indices):
                 self._leases.pop(lease.lease_id, None)
                 owner = self._workers.get(lease.worker)
                 if owner is not None:
                     owner.leases.discard(lease.lease_id)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        if accepted or duplicate:
+            shipped = message.get("spans")
+            if accepted and isinstance(shipped, list):
+                # Worker-side spans collected around function(item) ship back
+                # inside the result frame; re-emit them into the driver's
+                # trace tagged with the worker that computed them.  Duplicate
+                # frames are dropped so a twice-computed item's compute span
+                # appears once, matching the result that was recorded.
+                for event in shipped:
+                    if isinstance(event, dict):
+                        tracer.emit({
+                            **event,
+                            "proc": worker.name,
+                            "worker": worker.name,
+                        })
+            tracer.instant(
+                "result.duplicate" if duplicate else "lease.result",
+                cat="cluster", worker=worker.name, index=index,
+            )
 
     def _record_failure(self, message: dict) -> None:
         with self._lock:
@@ -576,11 +669,13 @@ class Coordinator:
                 # Same staleness rule as results: an error from an already-
                 # stolen item of a previous batch must not abort the
                 # unrelated batch currently in flight.
-                self._counters["stale_frames"] += 1
+                self._c_stale.inc()
                 return
             if self._failure is None:
                 self._failure = str(message.get("error", "worker reported an error"))
             self._done.set()
+        log.warning("worker reported a batch failure: %s",
+                    message.get("error", "worker reported an error"))
 
     def _retire(self, worker: _Worker) -> None:
         """Mark *worker* dead and requeue the unfinished part of its leases.
@@ -592,6 +687,7 @@ class Coordinator:
         a ``None`` value, recorded in the batch's poisoned list and the
         ``poisoned`` counter -- and only the rest of the lease requeues.
         """
+        events: list[tuple[str, dict]] = []
         with self._lock:
             if not worker.alive:
                 return
@@ -613,7 +709,11 @@ class Coordinator:
                             "strikes": strikes,
                             "worker": worker.name,
                         })
-                        self._counters["poisoned"] += 1
+                        self._c_poisoned.inc()
+                        events.append(("item.poisoned", {
+                            "index": suspect, "strikes": strikes,
+                            "worker": worker.name,
+                        }))
                         self._remaining -= 1
                         if self._remaining == 0:
                             self._done.set()
@@ -623,11 +723,31 @@ class Coordinator:
                     # outstanding work, so it should not wait behind the tail.
                     self._queue.appendleft(remaining)
                     requeued += len(remaining)
+                    events.append(("lease.requeue", {
+                        "lease": lease_id, "items": len(remaining),
+                        "worker": worker.name,
+                    }))
             worker.leases.clear()
-            self._counters["requeued"] += requeued
+            if requeued:
+                self._c_requeued.inc(requeued, worker=worker.name)
             if not self._closed:
-                self._counters["dead_workers"] += 1
+                self._c_dead.inc(worker=worker.name)
+                events.append(("worker.dead", {
+                    "worker": worker.name, "requeued": requeued,
+                }))
         self._close_conn(worker.conn)
+        # Trace writes and logging stay outside the lock (file IO).
+        tracer = get_tracer()
+        for name, args in events:
+            tracer.instant(name, cat="cluster", **args)
+            if name == "worker.dead":
+                log.warning("worker %s retired; %d item(s) requeued",
+                            args["worker"], args["requeued"])
+            elif name == "item.poisoned":
+                log.warning(
+                    "item %d abandoned after %d strikes (last worker %s)",
+                    args["index"], args["strikes"], args["worker"],
+                )
 
     # --------------------------------------------------------------- helpers
     def _send(self, worker: _Worker, message: dict) -> None:

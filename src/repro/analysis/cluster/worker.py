@@ -45,8 +45,12 @@ from repro.analysis.cluster.protocol import (
     recv_frame,
     send_frame,
 )
+from repro.obs.logs import get_logger
+from repro.obs.trace import collecting
 
 __all__ = ["run_worker"]
+
+log = get_logger("repro.cluster.worker")
 
 
 def _connect(host: str, port: int, timeout: float, policy=None) -> socket.socket:
@@ -165,6 +169,7 @@ def run_worker(
             pass
         raise
     final_name = str(welcome.get("name") or name or "worker")
+    log.info("registered with coordinator %s:%d as %s", host, port, final_name)
 
     try:
         def _heartbeat_loop() -> None:
@@ -194,11 +199,21 @@ def run_worker(
                 # Echoed verbatim so the coordinator can drop frames that
                 # arrive after this batch already completed (stolen tails).
                 batch = message.get("batch")
+                # The coordinator sets "trace" on chunks when the driver's
+                # tracer is enabled: spans collected around each item ship
+                # back inside the existing result frame (optional key, so
+                # old coordinators ignore it).
+                traced = bool(message.get("trace"))
                 for index, item in zip(message["indices"], message["items"]):
                     if fault_hook is not None:
                         fault_hook(computed)
+                    spans: list = []
                     try:
-                        result = function(item)
+                        if traced:
+                            with collecting(proc=final_name) as spans:
+                                result = function(item)
+                        else:
+                            result = function(item)
                     except BaseException:  # noqa: BLE001 -- relayed, not hidden
                         # Engine trials capture their own exceptions into
                         # TrialResult.error; a raise here is an infrastructure
@@ -211,13 +226,16 @@ def run_worker(
                             "error": traceback.format_exc(),
                         })
                         break
-                    _send({
+                    frame = {
                         "type": "result",
                         "lease": lease,
                         "batch": batch,
                         "index": index,
                         "result": result,
-                    })
+                    }
+                    if traced and spans:
+                        frame["spans"] = spans
+                    _send(frame)
                     computed += 1
             elif kind == "wait":
                 time.sleep(float(message.get("delay", 0.05)))

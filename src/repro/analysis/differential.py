@@ -609,6 +609,10 @@ def diff_k_ecss_kernel_trial(config: Config, seed: int) -> dict:
 _CLUSTER_MODULES = (
     "repro.analysis.differential",
     "repro.analysis.cluster",
+    # The cluster worker/coordinator are instrumented through repro.obs
+    # (tracing + logging); the closure must name it or CACHE001 flags the
+    # reachable-but-undeclared import.
+    "repro.obs",
     "repro.graphs",
 )
 

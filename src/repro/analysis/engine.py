@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover -- import would be circular at runtime
     from repro.analysis.faults import RetryPolicy
 from repro.analysis.code_version import code_version_for
 from repro.analysis.runner import TrialResult, derive_seed
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "CODE_VERSION",
@@ -146,22 +147,45 @@ class TrialJob:
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def _execute_trial(trial: TrialFn | str, job: TrialJob) -> TrialResult:
-    """Run one trial, capturing any exception into ``TrialResult.error``."""
+def _execute_trial(
+    trial: TrialFn | str, job: TrialJob, *, submitted: float | None = None
+) -> TrialResult:
+    """Run one trial, capturing any exception into ``TrialResult.error``.
+
+    *submitted* is the wall-clock stamp the engine took when it handed the
+    batch to its backend; the gap to this function starting is recorded as
+    ``TrialResult.queue_seconds`` (dispatch + transit + time queued behind
+    other work), splitting trial latency into queue-wait vs compute.  The
+    trial span is observability only -- it wraps the computation without
+    touching its inputs, so traced and untraced runs are bit-identical.
+    """
+    queue_seconds = (
+        max(0.0, time.time() - submitted) if submitted is not None else 0.0
+    )
     function = resolve_trial(trial)
-    started = time.perf_counter()
-    try:
-        metrics = function(job.config_dict, job.seed)
-        error = None
-    except Exception:  # noqa: BLE001 -- failures are data, surfaced downstream
-        metrics, error = {}, traceback.format_exc()
+    with get_tracer().span(
+        "trial",
+        cat="trial",
+        experiment=job.experiment,
+        seed=job.seed,
+        index=job.index,
+        queue_seconds=queue_seconds,
+    ):
+        started = time.perf_counter()
+        try:
+            metrics = function(job.config_dict, job.seed)
+            error = None
+        except Exception:  # noqa: BLE001 -- failures are data, surfaced downstream
+            metrics, error = {}, traceback.format_exc()
+        duration = time.perf_counter() - started
     return TrialResult(
         config=job.config_dict,
         seed=job.seed,
         metrics=metrics,
         error=error,
         index=job.index,
-        duration=time.perf_counter() - started,
+        duration=duration,
+        queue_seconds=queue_seconds,
     )
 
 
@@ -301,6 +325,7 @@ class ExperimentEngine:
             index=job.index,
             duration=float(payload.get("duration", 0.0)),
             cached=True,
+            queue_seconds=float(payload.get("queue_seconds", 0.0)),
         )
 
     def _store(self, job: TrialJob, result: TrialResult, code_version: str) -> None:
@@ -319,6 +344,7 @@ class ExperimentEngine:
             ),
             "metrics": result.metrics,
             "duration": result.duration,
+            "queue_seconds": result.queue_seconds,
         }
         try:
             encoded = json.dumps(payload)
@@ -379,17 +405,32 @@ class ExperimentEngine:
 
         if pending:
             backend = self._backend_instance()
-            function = partial(_execute_trial, trial)
+            # The submit stamp rides into _execute_trial so every executed
+            # result records its queue-wait (submit -> start) alongside the
+            # compute duration.
+            function = partial(_execute_trial, trial, submitted=time.time())
             batch = [job for _, job in pending]
-            if self.retry_policy is None:
-                executed = backend.map(function, batch)
-            else:
-                # Infrastructure retries only: trial exceptions travel as
-                # TrialResult.error data and never raise through map, and a
-                # re-run recomputes bit-identical results (up-front seeds).
-                executed = self.retry_policy.call(
-                    lambda: backend.map(function, batch)
-                )
+            label = trial if isinstance(trial, str) else getattr(
+                trial, "__name__", type(trial).__name__
+            )
+            with get_tracer().span(
+                "engine.run_jobs",
+                cat="engine",
+                trial=label,
+                jobs=len(jobs),
+                pending=len(pending),
+                cache_hits=len(jobs) - len(pending),
+                backend=backend.name,
+            ):
+                if self.retry_policy is None:
+                    executed = backend.map(function, batch)
+                else:
+                    # Infrastructure retries only: trial exceptions travel as
+                    # TrialResult.error data and never raise through map, and a
+                    # re-run recomputes bit-identical results (up-front seeds).
+                    executed = self.retry_policy.call(
+                        lambda: backend.map(function, batch)
+                    )
             if len(executed) != len(pending):
                 raise RuntimeError(
                     f"backend {backend.name!r} returned {len(executed)} results "

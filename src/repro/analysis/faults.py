@@ -62,6 +62,8 @@ from typing import Callable, Iterator, Mapping, Sequence
 from repro.analysis.backends import register_backend, resolve_backend
 from repro.analysis.cluster import protocol as _protocol
 from repro.analysis.cluster.protocol import AuthenticationError, ConnectionClosed
+from repro.obs.logs import get_logger
+from repro.obs.trace import get_tracer
 
 __all__ = [
     "RetryPolicy",
@@ -76,6 +78,8 @@ __all__ = [
     "crash_store_at",
     "record_store_crash_points",
 ]
+
+log = get_logger("repro.faults")
 
 
 class InjectedWorkerCrash(RuntimeError):
@@ -192,6 +196,14 @@ class RetryPolicy:
                 if self.max_attempts is not None and attempt >= self.max_attempts:
                     raise
                 delay = next(stream)
+                log.warning(
+                    "retry attempt %d after %s: %s (sleeping %.3fs)",
+                    attempt, type(exc).__name__, exc, delay,
+                )
+                get_tracer().instant(
+                    "retry.attempt", cat="faults",
+                    attempt=attempt, error=type(exc).__name__, delay=delay,
+                )
                 if on_retry is not None:
                     on_retry(attempt, exc, delay)
                 sleep(delay)
@@ -713,6 +725,11 @@ class FailoverBackend:
             "reason": _first_line(exc),
         }
         self.degradations.append(event)
+        log.warning(
+            "failover: %s failed (%s); degrading to %s",
+            event["degraded_from"], event["reason"], event["to"],
+        )
+        get_tracer().instant("failover.degrade", cat="faults", **event)
         self._exit_stage()
         self._active += 1
         self._enter_stage(successor)

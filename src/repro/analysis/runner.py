@@ -67,6 +67,13 @@ class TrialResult:
             Never part of the result's identity -- backends are
             bit-identical on (config, seed, metrics) regardless of which
             worker ran what.
+        queue_seconds: Wall-clock seconds between the engine submitting the
+            batch and this trial starting to compute (dispatch, pickling,
+            cluster transit, time spent queued behind other leases).
+            ``duration`` measures compute only, so the two together split a
+            trial's latency into queue-wait vs compute.  Cache replays
+            restore the originally persisted value.  Like ``worker``, pure
+            observability -- never part of the result's identity.
     """
 
     config: Mapping[str, object]
@@ -77,6 +84,7 @@ class TrialResult:
     duration: float = 0.0
     cached: bool = False
     worker: str | None = None
+    queue_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:

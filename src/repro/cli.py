@@ -1,10 +1,13 @@
 """Command line interface: ``kecss solve | verify | experiment | bench | cache |
-families | history | regress | store | worker | lint``.
+families | history | regress | store | worker | lint | trace``.
 
 Examples::
 
     kecss solve --family weighted-sparse --n 32 --k 2 --seed 1
     kecss experiment e3
+    kecss experiment e1 --backend cluster --trace trace.jsonl
+    kecss trace trace.jsonl                          # timing/utilization report
+    kecss trace trace.jsonl --format chrome --out trace.chrome.json
     kecss experiment e1 --workers 4 --backend threads --cache-dir .repro-cache
     kecss experiment e1 --workers 4 --backend cluster  # loopback work queue
     kecss worker --connect 10.0.0.5:7781             # serve a remote engine
@@ -75,6 +78,17 @@ cache-soundness rule (``register_trial(modules=...)`` declarations must
 cover the trial's transitive import closure).  Exit codes follow the
 ``regress`` convention: 0 clean, 1 new findings, 2 usage error.  See
 ``docs/lint.md``.
+
+Observability (see ``docs/observability.md``): ``--trace FILE`` on
+``experiment``/``bench`` records a JSONL structured trace of the run
+(engine batches, per-trial queue-wait vs compute, cluster leases/steals/
+requeues, store segment writes) without perturbing any result -- tracing
+observes, never participates.  ``kecss trace FILE`` renders the recorded
+trace as a per-stage timing breakdown and per-worker utilization table
+(``--format json`` for machines, ``--format chrome`` for Perfetto /
+``chrome://tracing``).  The global ``--log-level`` flag (or
+``$REPRO_LOG_LEVEL``) turns on stdlib-logging diagnostics under the
+``repro.*`` namespace.
 """
 
 from __future__ import annotations
@@ -111,6 +125,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="kecss",
         description="Distributed approximation of minimum k-ECSS (Dory, PODC 2018) - reproduction",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="diagnostics level for the repro.* loggers (DEBUG, INFO, "
+             "WARNING, ERROR; default: $REPRO_LOG_LEVEL, then WARNING)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -160,6 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--store-dir", default=None,
                             help="append per-trial records to this columnar trial "
                                  "store (default: $REPRO_STORE_DIR; unset: no store)")
+    experiment.add_argument("--trace", default=None, metavar="FILE",
+                            help="record a JSONL structured trace of the run "
+                                 "(summarize with 'kecss trace FILE'); results "
+                                 "stay bit-identical")
 
     bench = subparsers.add_parser(
         "bench", help="run benchmark entrypoints and persist BENCH_*.json baselines"
@@ -193,6 +216,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--store-dir", default=None,
                        help="also append the run to this columnar trial store "
                             "(default: $REPRO_STORE_DIR; skipped under --dry-run)")
+    bench.add_argument("--trace", default=None, metavar="FILE",
+                       help="record a JSONL structured trace of the run "
+                            "(summarize with 'kecss trace FILE'); results "
+                            "stay bit-identical")
 
     history = subparsers.add_parser(
         "history",
@@ -281,6 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="the trial-cache directory to operate on")
 
     subparsers.add_parser("families", help="list the registered graph families")
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="summarize a JSONL trace recorded with --trace: per-stage "
+             "timing, per-worker utilization, event log",
+    )
+    trace.add_argument("path", metavar="FILE",
+                       help="the trace file a --trace run wrote")
+    trace.add_argument("--format", dest="output_format", default="text",
+                       choices=["text", "json", "chrome"],
+                       help="text: timing/utilization tables; json: the full "
+                            "summary (what the CI gate parses); chrome: "
+                            "Chrome trace-event JSON for Perfetto / "
+                            "chrome://tracing")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the rendering to PATH instead of stdout")
 
     lint = subparsers.add_parser(
         "lint",
@@ -384,6 +427,24 @@ def _open_store(directory: Path, create: bool):
         raise SystemExit(str(exc))
 
 
+def _apply_obs_options(args: argparse.Namespace) -> None:
+    """Enable tracing when ``--trace FILE`` was given.
+
+    ``enable_tracing`` publishes ``$REPRO_TRACE`` so forked/spawned cluster
+    workers inherit the sink; *truncate* starts each run on a fresh file
+    instead of appending to a stale trace.
+    """
+    value = getattr(args, "trace", None)
+    if value is None:
+        return
+    from repro.obs.trace import enable_tracing
+
+    try:
+        enable_tracing(value, truncate=True)
+    except OSError as exc:
+        raise SystemExit(f"cannot write trace file {value!r}: {exc}")
+
+
 def _apply_cluster_options(args: argparse.Namespace) -> None:
     """Publish ``--heartbeat-timeout`` through the env fallback.
 
@@ -413,6 +474,7 @@ def _experiment(args: argparse.Namespace) -> int:
         )
     experiment_id = args.positional_id or args.experiment_id or "all"
     _apply_cluster_options(args)
+    _apply_obs_options(args)
     if args.cache_dir is not None and not args.no_cache:
         try:
             Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
@@ -467,6 +529,7 @@ def _bench(args: argparse.Namespace) -> int:
     from repro.analysis.bench import RecordingEngine
 
     _apply_cluster_options(args)
+    _apply_obs_options(args)
     ids = sorted(_EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
     if args.out is not None and len(ids) != 1:
         raise SystemExit("--out requires a single experiment id (use --out-dir for 'all')")
@@ -846,6 +909,42 @@ def _lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _trace(args: argparse.Namespace) -> int:
+    """Render a recorded trace.  Exit 0: parsed and summarized; 1: the file
+    is unreadable or holds no valid events; 2: usage (argparse)."""
+    from repro.obs.timeline import (
+        TraceError,
+        load_trace,
+        render_chrome,
+        render_json,
+        render_text,
+        summarize,
+    )
+
+    try:
+        events, skipped = load_trace(args.path)
+        if args.output_format == "chrome":
+            rendering = render_chrome(events)
+        else:
+            summary = summarize(events, skipped=skipped)
+            rendering = (
+                render_json(summary) if args.output_format == "json"
+                else render_text(summary)
+            )
+    except TraceError as exc:
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        try:
+            Path(args.out).write_text(rendering + "\n", encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.out!r}: {exc}")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendering)
+    return 0
+
+
 def _families(_: argparse.Namespace) -> int:
     table = Table(
         title="registered graph families",
@@ -874,6 +973,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs.logs import configure_logging
+
+    try:
+        configure_logging(args.log_level)
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2, the argparse usage convention
     handlers = {
         "solve": _solve,
         "verify": _verify,
@@ -886,6 +991,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "store": _store_cmd,
         "worker": _worker,
         "lint": _lint,
+        "trace": _trace,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,86 @@
+"""Stdlib ``logging`` adoption for the ``repro.*`` namespace.
+
+Library modules call :func:`get_logger` (a thin ``logging.getLogger`` that
+enforces the ``repro.`` prefix) and log coordinator / worker / failover
+diagnostics that used to be stderr prints or silently swallowed
+exceptions.  Nothing is emitted until a handler is configured:
+:func:`configure_logging` -- called by the ``kecss`` entry point -- wires
+a single stderr handler at the level from ``--log-level`` or
+``$REPRO_LOG_LEVEL`` (default ``WARNING``, so existing output is
+unchanged unless a user opts in).
+
+The env var (rather than only a flag) matters for the cluster: loopback
+worker processes inherit the environment, so ``REPRO_LOG_LEVEL=debug
+kecss experiment e1 --backend cluster`` turns on worker-side diagnostics
+too, and ``kecss worker`` machines can set it independently.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["LOG_LEVEL_ENV", "configure_logging", "get_logger"]
+
+#: Environment fallback for the ``kecss --log-level`` flag.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+
+#: Marker attribute on the handler configure_logging installs, so repeat
+#: calls re-level the existing handler instead of stacking duplicates.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+# Library etiquette: without this, logging's lastResort handler would print
+# repro warnings to stderr even when nobody configured logging, changing
+# the library's default output.  A NullHandler keeps the namespace silent
+# until configure_logging (or an application's own root handler, reached
+# via propagation) opts in.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.`` namespace (prefix added if missing)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def _resolve_level(level: str | int | None) -> int:
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "").strip() or "WARNING"
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r}; use DEBUG, INFO, WARNING, ERROR "
+            f"or CRITICAL"
+        )
+    return resolved
+
+
+def configure_logging(level: str | int | None = None) -> int:
+    """Attach one stderr handler to the ``repro`` logger at *level*.
+
+    *level* ``None`` resolves ``$REPRO_LOG_LEVEL`` and falls back to
+    ``WARNING``.  Idempotent: calling again adjusts the existing handler's
+    level rather than adding another.  Returns the numeric level applied.
+    """
+    resolved = _resolve_level(level)
+    root = logging.getLogger("repro")
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_FLAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+        # Diagnostics stay inside the repro handler; the application's own
+        # root-logger configuration (if any) is not double-fed.
+        root.propagate = False
+    handler.setLevel(resolved)
+    root.setLevel(resolved)
+    return resolved

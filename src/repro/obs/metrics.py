@@ -1,0 +1,181 @@
+"""Counter / gauge / histogram registry with labels (stdlib only).
+
+The cluster coordinator's fault-tolerance accounting (steals, requeues,
+duplicates, stale frames, poisoned items, dead workers) used to live in an
+ad-hoc ``dict`` of ints; this module gives those numbers names, types and
+labels.  A :class:`MetricsRegistry` owns a namespace of instruments:
+
+* :class:`Counter` -- monotonically increasing (``inc``); per-label-set
+  series, e.g. ``requeued_items.inc(3, worker="w1")``.
+* :class:`Gauge` -- a settable level (``set``), e.g. ``batch_remaining``.
+* :class:`Histogram` -- streaming count/sum/min/max of observations,
+  enough for timing distributions without storing samples.
+
+``registry.snapshot()`` renders everything as plain JSON-ready dicts, and
+:meth:`Counter.total` sums a counter across its label sets -- which is how
+:meth:`repro.analysis.cluster.coordinator.Coordinator.stats` keeps its
+historical flat-dict shape while the counters themselves carry per-worker
+attribution.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    """Shared label-series bookkeeping for all instrument types."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def series(self) -> dict[tuple, object]:
+        """``{(label pairs): value}`` snapshot of every recorded series."""
+        with self._lock:
+            return dict(self._series)
+
+    def snapshot(self) -> dict:
+        entries = []
+        for key, value in sorted(self.series().items()):
+            entries.append({"labels": dict(key), "value": value})
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "series": entries,
+        }
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count, one series per label set."""
+
+    kind = "counter"
+
+    def inc(self, amount: int | float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount!r}")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> int | float:
+        """The exact series for *labels* (0 when never incremented)."""
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)
+
+    def total(self) -> int | float:
+        """The counter summed across every label set."""
+        with self._lock:
+            return sum(self._series.values())
+
+    def snapshot(self) -> dict:
+        payload = super().snapshot()
+        payload["total"] = self.total()
+        return payload
+
+
+class Gauge(_Instrument):
+    """A level that can go up or down (or be cleared to absent)."""
+
+    kind = "gauge"
+
+    def set(self, value: int | float | None, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            if value is None:
+                self._series.pop(key, None)
+            else:
+                self._series[key] = value
+
+    def value(self, **labels) -> int | float | None:
+        with self._lock:
+            return self._series.get(_label_key(labels))
+
+
+class Histogram(_Instrument):
+    """Streaming count / sum / min / max of observed values per label set."""
+
+    kind = "histogram"
+
+    def observe(self, value: int | float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            stats = self._series.get(key)
+            if stats is None:
+                self._series[key] = {
+                    "count": 1, "sum": value, "min": value, "max": value,
+                }
+            else:
+                stats["count"] += 1
+                stats["sum"] += value
+                stats["min"] = min(stats["min"], value)
+                stats["max"] = max(stats["max"], value)
+
+    def value(self, **labels) -> dict | None:
+        """``{"count", "sum", "min", "max"}`` for *labels* (None when empty)."""
+        with self._lock:
+            stats = self._series.get(_label_key(labels))
+            return dict(stats) if stats is not None else None
+
+    def series(self) -> dict[tuple, dict]:
+        with self._lock:
+            return {key: dict(stats) for key, stats in self._series.items()}
+
+
+class MetricsRegistry:
+    """A named namespace of instruments; getters create on first use.
+
+    Re-requesting a name returns the existing instrument (so independent
+    call sites share a series) but re-requesting it as a *different type*
+    raises -- silently returning a counter where a gauge was asked for
+    would corrupt both.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, cls, name: str, help: str):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} is already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, help)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Every instrument rendered as a JSON-ready dict, keyed by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {
+            name: instruments[name].snapshot() for name in sorted(instruments)
+        }

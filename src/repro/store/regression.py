@@ -178,22 +178,34 @@ def history_drilldown(
         raise StoreError(
             f"no stored runs for experiment {experiment!r} in {store.root}"
         )
-    metric_column = metric if metric.startswith("metrics.") else f"metrics.{metric}"
     by_version: dict[str, list[RunInfo]] = {}
     for info in runs:  # first-ingested order, preserved by dict insertion
         by_version.setdefault(info.code_version, []).append(info)
     run_columns = {info.run_id: store.columns(info) for info in runs}
     all_names = {name for columns in run_columns.values() for name in columns}
 
+    # Resolve the metric against what is actually stored: a recorded
+    # metric first (with or without the ``metrics.`` prefix), then a bare
+    # numeric timing column -- so ``--metric duration`` and ``--metric
+    # queue_seconds`` drill into where runs spent their time.
+    if metric.startswith("metrics.") or f"metrics.{metric}" in all_names:
+        metric_column = (
+            metric if metric.startswith("metrics.") else f"metrics.{metric}"
+        )
+    else:
+        metric_column = metric
     if metric_column not in all_names:
         known = sorted(
             name[len("metrics."):]
             for name in all_names
             if name.startswith("metrics.")
         )
+        timing = sorted(
+            name for name in ("duration", "queue_seconds") if name in all_names
+        )
         raise StoreError(
             f"metric {metric!r} is not recorded by any stored run of "
-            f"{experiment!r}; known metrics: {known}"
+            f"{experiment!r}; known metrics: {known}; timing columns: {timing}"
         )
     group_column: str | None = None
     if by is not None:

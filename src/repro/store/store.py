@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.code_version import git_describe
+from repro.obs.trace import get_tracer
 from repro.store.columns import ColumnCodecError, ColumnSpec, build_column, read_column
 
 __all__ = [
@@ -266,6 +267,14 @@ def _trial_columns(trials: Sequence[Mapping]) -> dict[str, list]:
         # Sparse like ``error`` so runs from in-process backends (and
         # imported historical baselines) keep their exact column set.
         columns["worker"] = [t.get("worker") for t in trials]
+    if any(t.get("queue_seconds") for t in trials):
+        # Queue-wait provenance (submit -> compute start), split from
+        # ``duration``.  Sparse so historical baselines recorded before the
+        # field existed -- and serial runs where every wait is 0.0 -- keep
+        # their exact column set.
+        columns["queue_seconds"] = [
+            float(t.get("queue_seconds") or 0.0) for t in trials
+        ]
     return columns
 
 
@@ -497,46 +506,53 @@ class TrialStore:
         provenance = dict(provenance or {})
         if source is not None:
             provenance.setdefault("source", source)
-        column_values = _trial_columns(list(trials))
-        specs: list[ColumnSpec] = []
-        payloads: list[bytes] = []
-        for index, (name, values) in enumerate(column_values.items()):
-            try:
-                spec, data = build_column(name, values, index)
-            except ColumnCodecError as exc:
-                raise StoreError(f"cannot encode column {name!r}: {exc}") from exc
-            specs.append(spec)
-            payloads.append(data)
-        sequence, path = self._claim_segment(experiment)
-        _crash_point("segment-claimed")
-        run_id = path.name
-        manifest = {
-            "schema": RUN_SCHEMA_NAME,
-            "schema_version": SCHEMA_VERSION,
-            "run_id": run_id,
-            "sequence": sequence,
-            "experiment": experiment,
-            "created_unix": float(created_unix),
-            "code_version": str(provenance.get("code_version", "unknown")),
-            "provenance": provenance,
-            "table": dict(table) if table is not None else None,
-            "trial_count": len(trials),
-            "columns": [spec.to_manifest() for spec in specs],
-        }
-        problems = validate_run_manifest(manifest)
-        if problems:
-            raise StoreError(
-                "refusing to write an invalid run manifest: " + "; ".join(problems)
-            )
-        for spec, data in zip(specs, payloads):
-            (path / spec.file).write_bytes(data)
-            _crash_point(f"column-written:{spec.file}")
-        # The manifest is written last and renamed into place: its presence
-        # commits the segment, and a crash mid-write leaves only a .tmp file
-        # (the segment stays invisible) instead of a corrupt manifest that
-        # would brick every read of the store.
-        _crash_point("before-manifest")
-        _write_json_atomic(path / "manifest.json", manifest)
+        with get_tracer().span(
+            "store.ingest", cat="store",
+            experiment=experiment, trials=len(trials),
+        ):
+            column_values = _trial_columns(list(trials))
+            specs: list[ColumnSpec] = []
+            payloads: list[bytes] = []
+            for index, (name, values) in enumerate(column_values.items()):
+                try:
+                    spec, data = build_column(name, values, index)
+                except ColumnCodecError as exc:
+                    raise StoreError(
+                        f"cannot encode column {name!r}: {exc}"
+                    ) from exc
+                specs.append(spec)
+                payloads.append(data)
+            sequence, path = self._claim_segment(experiment)
+            _crash_point("segment-claimed")
+            run_id = path.name
+            manifest = {
+                "schema": RUN_SCHEMA_NAME,
+                "schema_version": SCHEMA_VERSION,
+                "run_id": run_id,
+                "sequence": sequence,
+                "experiment": experiment,
+                "created_unix": float(created_unix),
+                "code_version": str(provenance.get("code_version", "unknown")),
+                "provenance": provenance,
+                "table": dict(table) if table is not None else None,
+                "trial_count": len(trials),
+                "columns": [spec.to_manifest() for spec in specs],
+            }
+            problems = validate_run_manifest(manifest)
+            if problems:
+                raise StoreError(
+                    "refusing to write an invalid run manifest: "
+                    + "; ".join(problems)
+                )
+            for spec, data in zip(specs, payloads):
+                (path / spec.file).write_bytes(data)
+                _crash_point(f"column-written:{spec.file}")
+            # The manifest is written last and renamed into place: its
+            # presence commits the segment, and a crash mid-write leaves only
+            # a .tmp file (the segment stays invisible) instead of a corrupt
+            # manifest that would brick every read of the store.
+            _crash_point("before-manifest")
+            _write_json_atomic(path / "manifest.json", manifest)
         return RunInfo(
             run_id=run_id,
             sequence=sequence,

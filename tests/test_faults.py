@@ -330,11 +330,21 @@ class TestChaosRuns:
 
 
 class TestChaosParity:
-    """The acceptance bar: chaos runs stay bit-identical to serial."""
+    """The acceptance bar: chaos runs stay bit-identical to serial.
+
+    The sweep runs with tracing ENABLED: the hard observability invariant
+    is that spans observe and never participate, so a traced chaos run must
+    stay bit-identical to the untraced serial baseline -- and the trace it
+    writes must parse and carry the cluster's lease/steal story.
+    """
 
     N_GRAPHS = 50
 
-    def test_chaos_sweep_matches_serial_with_drops_and_a_worker_crash(self):
+    def test_chaos_sweep_matches_serial_with_drops_and_a_worker_crash(
+        self, tmp_path
+    ):
+        from repro.obs.trace import disable_tracing, enable_tracing
+
         jobs = cluster_protocol_jobs(self.N_GRAPHS)
         function = partial(_execute_trial, "diff-cluster-protocol")
         serial = [function(job) for job in jobs]
@@ -343,9 +353,14 @@ class TestChaosParity:
             seed=2024, drop_rate=0.08, protect_first=2,
             worker_faults=(WorkerFault("c0", at_item=7, kind="crash"),),
         )
-        outcome, stats = run_chaos_batch(
-            function, jobs, plan, workers=3, request_timeout=0.5
-        )
+        trace_file = tmp_path / "chaos.jsonl"
+        enable_tracing(trace_file, truncate=True)
+        try:
+            outcome, stats = run_chaos_batch(
+                function, jobs, plan, workers=3, request_timeout=0.5
+            )
+        finally:
+            disable_tracing()
 
         def key(results):
             return [(r.config, r.seed, r.metrics, r.error) for r in results]
@@ -354,6 +369,18 @@ class TestChaosParity:
         assert stats["dead_workers"] >= 1  # the scripted crash fired
         assert stats["poisoned"] == 0      # one strike never poisons
         assert any(event["kind"] == "crash" for event in plan.events)
+
+        # The trace the sweep produced is loadable and tells the story:
+        # every dispatched lease, the scripted death, and the worker-side
+        # trial spans shipped back through the chaos proxy.
+        from repro.obs.timeline import load_trace, summarize
+
+        events, _skipped = load_trace(trace_file)
+        summary = summarize(events)
+        assert summary["event_counts"].get("lease.dispatch", 0) >= 1
+        assert summary["event_counts"].get("worker.dead", 0) >= 1
+        assert summary["stages"].get("trial", {}).get("count", 0) >= self.N_GRAPHS
+        assert any(name.startswith("c") for name in summary["workers"])
 
 
 # -------------------------------------------------------------- poison chunks
